@@ -1,0 +1,193 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// The repository-level benchmarks regenerate every figure of the
+// paper's evaluation, one benchmark per artefact, at a CI-friendly
+// scale (QuickConfig: 400 images/subset for performance runs, 200 for
+// the functional accuracy runs). For paper-scale output use:
+//
+//	go run ./cmd/ncsw-bench -full
+//
+// Each benchmark reports the experiment's headline number as a custom
+// metric next to the usual ns/op, and logs the full table under -v.
+
+var (
+	benchHarness     *bench.Harness
+	benchHarnessOnce sync.Once
+)
+
+func sharedHarness(b *testing.B) *bench.Harness {
+	b.Helper()
+	benchHarnessOnce.Do(func() {
+		h, err := bench.NewHarness(bench.QuickConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchHarness = h
+	})
+	return benchHarness
+}
+
+// metric extracts the leading float of the cell at (rowKey, col).
+func metric(b *testing.B, t *bench.Table, rowKey string, col int) float64 {
+	b.Helper()
+	for _, row := range t.Rows {
+		if row[0] != rowKey {
+			continue
+		}
+		var v float64
+		cell := row[col]
+		if i := strings.IndexAny(cell, " ("); i > 0 {
+			cell = cell[:i]
+		}
+		cell = strings.TrimSuffix(strings.TrimSuffix(cell, "%"), "x")
+		if _, err := fmt.Sscan(cell, &v); err != nil {
+			b.Fatalf("cell %q: %v", row[col], err)
+		}
+		return v
+	}
+	b.Fatalf("table %s has no row %q", t.ID, rowKey)
+	return 0
+}
+
+func BenchmarkFig6aThroughputPerSubset(b *testing.B) {
+	h := sharedHarness(b)
+	var tbl *bench.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = h.Fig6a()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(metric(b, tbl, "mean", 3), "vpu-img/s")
+	b.ReportMetric(metric(b, tbl, "mean", 1), "cpu-img/s")
+	b.ReportMetric(metric(b, tbl, "mean", 2), "gpu-img/s")
+	b.Log("\n" + tbl.String())
+}
+
+func BenchmarkFig6bBatchScaling(b *testing.B) {
+	h := sharedHarness(b)
+	var tbl *bench.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = h.Fig6b()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(metric(b, tbl, "8", 6), "vpu-scale-at-8")
+	b.ReportMetric(metric(b, tbl, "8", 2), "cpu-scale-at-8")
+	b.ReportMetric(metric(b, tbl, "8", 4), "gpu-scale-at-8")
+	b.Log("\n" + tbl.String())
+}
+
+func BenchmarkFig7aTop1Error(b *testing.B) {
+	h := sharedHarness(b)
+	var tbl *bench.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = h.Fig7a()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(metric(b, tbl, "mean", 1), "fp32-err-%")
+	b.ReportMetric(metric(b, tbl, "mean", 2), "fp16-err-%")
+	b.Log("\n" + tbl.String())
+}
+
+func BenchmarkFig7bConfidenceDiff(b *testing.B) {
+	h := sharedHarness(b)
+	var tbl *bench.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = h.Fig7b()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(metric(b, tbl, "mean", 1)*1000, "conf-diff-x1e3")
+	b.Log("\n" + tbl.String())
+}
+
+func BenchmarkFig8aImagesPerWatt(b *testing.B) {
+	h := sharedHarness(b)
+	var tbl *bench.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = h.Fig8a()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(metric(b, tbl, "1", 3), "vpu-img/W")
+	b.ReportMetric(metric(b, tbl, "8", 1), "cpu-img/W")
+	b.ReportMetric(metric(b, tbl, "8", 2), "gpu-img/W")
+	b.Log("\n" + tbl.String())
+}
+
+func BenchmarkFig8bProjectedThroughput(b *testing.B) {
+	h := sharedHarness(b)
+	var tbl *bench.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = h.Fig8b()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(metric(b, tbl, "16", 3), "vpu16-img/s")
+	b.ReportMetric(metric(b, tbl, "16", 1), "cpu16-img/s")
+	b.ReportMetric(metric(b, tbl, "16", 2), "gpu16-img/s")
+	b.Log("\n" + tbl.String())
+}
+
+func BenchmarkSummaryHeadlines(b *testing.B) {
+	h := sharedHarness(b)
+	var tbl *bench.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = h.Summary()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + tbl.String())
+}
+
+func BenchmarkAblation(b *testing.B) {
+	h := sharedHarness(b)
+	var tbl *bench.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = h.Ablation()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(metric(b, tbl, "baseline (paper-faithful)", 1), "base-img/s")
+	b.ReportMetric(metric(b, tbl, "overlap (2 in flight per stick)", 1), "overlap-img/s")
+	b.Log("\n" + tbl.String())
+}
+
+func BenchmarkPrecisionAblation(b *testing.B) {
+	h := sharedHarness(b)
+	var tbl *bench.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = h.PrecisionAblation(150)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + tbl.String())
+}

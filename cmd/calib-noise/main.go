@@ -1,0 +1,40 @@
+// Command calib-noise recalibrates the synthetic dataset's noise level
+// against the paper's ~32% top-1 error target (Fig. 7a). Run it after
+// changing the micro network architecture, seeds or dataset geometry,
+// then update imagenet.CalibratedNoiseSigma with the printed value.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/imagenet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("calib-noise: ")
+	target := flag.Float64("target", 0.32, "target top-1 error rate")
+	images := flag.Int("images", 4000, "calibration images per measurement")
+	iters := flag.Int("iters", 12, "bisection iterations")
+	verify := flag.Bool("verify", false, "only verify the current calibrated sigma")
+	flag.Parse()
+
+	if *verify {
+		got, err := bench.MeasureErrorAt(imagenet.CalibratedNoiseSigma, *images)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("sigma=%.2f top1-err=%.4f (target %.4f)\n",
+			imagenet.CalibratedNoiseSigma, got, *target)
+		return
+	}
+	sigma, achieved, err := bench.CalibrateNoise(*target, *images, *iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("calibrated sigma=%.2f achieves top1-err=%.4f (target %.4f)\n", sigma, achieved, *target)
+	fmt.Println("update imagenet.CalibratedNoiseSigma with this value")
+}

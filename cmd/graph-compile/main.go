@@ -1,0 +1,77 @@
+// Command graph-compile compiles a network into an NCS graph blob and
+// prints its layer summary — the role mvNCCompile plays in the NCSDK.
+// With -profile it additionally prints the simulated per-layer
+// execution costs on the Myriad 2 (the mvNCProfile report).
+//
+// Examples:
+//
+//	graph-compile -net googlenet -o googlenet.graph
+//	graph-compile -net micro -profile
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/graphfile"
+	"repro/internal/rng"
+	"repro/internal/vpu"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("graph-compile: ")
+
+	netName := flag.String("net", "googlenet", "network to compile: googlenet or micro")
+	out := flag.String("o", "", "write the compiled blob to this file")
+	profile := flag.Bool("profile", false, "print the simulated per-layer Myriad 2 cost profile")
+	seed := flag.Uint64("seed", 1, "weight seed")
+	flag.Parse()
+
+	var net *repro.Graph
+	switch *netName {
+	case "googlenet":
+		net = repro.NewGoogLeNet(repro.Seed(*seed))
+	case "micro":
+		net = repro.NewMicroGoogLeNet(repro.DefaultMicroConfig(), repro.Seed(*seed))
+	default:
+		log.Fatalf("unknown network %q (want googlenet or micro)", *netName)
+	}
+
+	fmt.Print(net.Summary())
+
+	blob, err := repro.CompileGraph(net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, info, err := graphfile.Parse(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncompiled blob: %d bytes (%.2f MB), %d layers, %.3f GMACs, %.2f M params (FP16)\n",
+		info.Bytes, float64(info.Bytes)/(1<<20), info.Layers,
+		float64(info.MACs)/1e9, float64(info.Params)/1e6)
+
+	if *out != "" {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if *profile {
+		engine, err := vpu.NewEngine(vpu.DefaultConfig(), net, rng.New(*seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nMyriad 2 per-layer profile (12 SHAVEs @ 600 MHz):\n")
+		fmt.Printf("%-26s %-9s %12s %12s %8s\n", "layer", "kind", "compute", "memory", "bound")
+		for _, lc := range engine.LayerProfile() {
+			fmt.Printf("%-26s %-9s %12v %12v %8s\n", lc.Name, lc.Kind, lc.Compute, lc.Memory, lc.Bound)
+		}
+		fmt.Printf("total on-device execution: %v per inference\n", engine.BaseExecDuration())
+	}
+}

@@ -1,0 +1,74 @@
+// Command ncsw-bench regenerates the paper's evaluation artefacts:
+// every figure of §IV–§V, the headline-claim summary, and the two
+// beyond-the-paper ablations. Output is a paper-vs-measured table per
+// artefact.
+//
+// Usage:
+//
+//	ncsw-bench                         # quick scale, all experiments
+//	ncsw-bench -full                   # paper scale (50 000 images)
+//	ncsw-bench -experiment fig6a       # one artefact
+//	ncsw-bench -markdown > tables.md   # EXPERIMENTS.md fragments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ncsw-bench: ")
+
+	experiment := flag.String("experiment", "all",
+		"experiment to run: all, "+strings.Join(bench.ExperimentIDs(), ", "))
+	full := flag.Bool("full", false, "paper-scale workload (10000 images per subset)")
+	images := flag.Int("images", 0, "override images per subset for performance runs")
+	funcImages := flag.Int("functional-images", 0, "override images per subset for accuracy runs")
+	subsets := flag.Int("subsets", 0, "override subset count")
+	markdown := flag.Bool("markdown", false, "emit GitHub markdown instead of aligned text")
+	flag.Parse()
+
+	cfg := bench.QuickConfig()
+	if *full {
+		cfg = bench.DefaultConfig()
+	}
+	if *images > 0 {
+		cfg.ImagesPerSubset = *images
+	}
+	if *funcImages > 0 {
+		cfg.FunctionalImagesPerSubset = *funcImages
+	}
+	if *subsets > 0 {
+		cfg.Subsets = *subsets
+	}
+
+	h, err := bench.NewHarness(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ids := bench.ExperimentIDs()
+	if *experiment != "all" {
+		ids = strings.Split(*experiment, ",")
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tbl, err := h.Experiment(strings.TrimSpace(id))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *markdown {
+			fmt.Print(tbl.Markdown())
+		} else {
+			fmt.Println(tbl.String())
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", tbl.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,128 @@
+// Command ncsw-classify is the NCSw command-line front end: it
+// classifies images from a source (the synthetic validation set, or a
+// folder of .ppm files made with make-dataset) on a chosen target —
+// the simulated CPU, GPU, or a group of Neural Compute Sticks — and
+// reports accuracy plus simulated throughput.
+//
+// Examples:
+//
+//	ncsw-classify -target vpu -devices 4 -images 200
+//	ncsw-classify -target cpu -batch 8 -images 400
+//	ncsw-classify -target vpu -folder ./val-data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ncsw-classify: ")
+
+	target := flag.String("target", "vpu", "target device: cpu, gpu or vpu")
+	devices := flag.Int("devices", 1, "NCS devices for the vpu target")
+	batch := flag.Int("batch", 8, "batch size for cpu/gpu targets")
+	images := flag.Int("images", 100, "synthetic validation images to classify")
+	folder := flag.String("folder", "", "classify .ppm images from this folder instead")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	net := repro.NewMicroGoogLeNet(repro.DefaultMicroConfig(), repro.Seed(42))
+	ds, err := repro.NewDataset(datasetConfig(*images, *folder))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := calibrate(net, ds); err != nil {
+		log.Fatal(err)
+	}
+
+	src, n, err := buildSource(ds, *folder, *images, net)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	env := repro.NewEnv()
+	tgt, err := buildTarget(env, *target, net, *devices, *batch, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	col := repro.NewCollector(false)
+	job := tgt.Start(env, src, col.Sink())
+	env.Run()
+	if job.Err != nil {
+		log.Fatal(job.Err)
+	}
+
+	fmt.Printf("target:             %s (TDP %.1f W)\n", tgt.Name(), tgt.TDPWatts())
+	fmt.Printf("images classified:  %d of %d\n", job.Images, n)
+	fmt.Printf("simulated time:     %v\n", job.DoneAt-job.ReadyAt)
+	fmt.Printf("throughput:         %.1f img/s (simulated)\n", job.Throughput())
+	if col.Correct+col.Mispred > 0 {
+		fmt.Printf("top-1 error:        %.2f%% (%d/%d wrong)\n",
+			col.TopOneError()*100, col.Mispred, col.Correct+col.Mispred)
+		fmt.Printf("mean confidence:    %.3f\n", col.MeanConfidence())
+	}
+}
+
+func datasetConfig(images int, folder string) repro.DatasetConfig {
+	cfg := repro.DefaultDatasetConfig()
+	if folder == "" && images > 0 {
+		cfg.Images = images
+	}
+	return cfg
+}
+
+// calibrate installs the prototype classifier so predictions are
+// meaningful (the reproduction's stand-in for pre-trained weights).
+func calibrate(net *repro.Graph, ds *repro.Dataset) error {
+	return repro.CalibratePrototypeClassifier(net, ds, repro.DefaultClassifierTemperature)
+}
+
+func buildSource(ds *repro.Dataset, folder string, images int, net *repro.Graph) (repro.Source, int, error) {
+	if folder == "" {
+		src, err := repro.NewDatasetSource(ds, 0, images, true)
+		return src, images, err
+	}
+	labelOf := func(wnid string) (int, bool) {
+		for c := 0; c < ds.Classes(); c++ {
+			if ds.Synset(c).WNID == wnid {
+				return c, true
+			}
+		}
+		return 0, false
+	}
+	size := net.InputShape()[1]
+	src, err := repro.NewFolderSource(folder, size, ds.Mean(), labelOf)
+	if err != nil {
+		return nil, 0, err
+	}
+	return src, src.Len(), nil
+}
+
+func buildTarget(env *repro.Env, kind string, net *repro.Graph, devices, batch int, seed uint64) (repro.Target, error) {
+	switch kind {
+	case "cpu":
+		return repro.NewCPUTarget(net, batch, true, repro.Seed(seed))
+	case "gpu":
+		return repro.NewGPUTarget(net, batch, true, repro.Seed(seed))
+	case "vpu":
+		sticks, err := repro.NewNCSTestbed(env, devices, repro.Seed(seed))
+		if err != nil {
+			return nil, err
+		}
+		blob, err := repro.CompileGraph(net)
+		if err != nil {
+			return nil, err
+		}
+		opts := repro.DefaultVPUOptions()
+		opts.Functional = true
+		return repro.NewVPUTarget(sticks, blob, opts)
+	default:
+		return nil, fmt.Errorf("unknown target %q (want cpu, gpu or vpu)", kind)
+	}
+}

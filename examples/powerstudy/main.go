@@ -1,0 +1,107 @@
+// Powerstudy: the paper's §V analysis — Eq. (1) images-per-Watt for
+// the CPU, GPU and multi-VPU configurations, plus the simulated energy
+// meter reading the paper leaves to future work ("actual power
+// measurements would be required ... the TDP can be far from the real
+// power draws per device").
+//
+//	go run ./examples/powerstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/power"
+)
+
+const images = 400
+
+func main() {
+	log.SetFlags(0)
+
+	net := repro.NewGoogLeNet(repro.Seed(1))
+	blob, err := repro.CompileGraph(net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := repro.DefaultDatasetConfig()
+	cfg.Images = images
+	ds, err := repro.NewDataset(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("GoogLeNet inference, throughput per Watt (Eq. 1, batch 8 / 8 sticks)")
+	fmt.Printf("%-12s %-12s %-10s %-12s\n", "target", "img/s", "TDP (W)", "img/W")
+
+	// CPU at batch 8.
+	cpu, err := repro.NewCPUTarget(net, 8, false, repro.Seed(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpuIPS := runBatch(cpu, ds)
+	fmt.Printf("%-12s %-12.1f %-10.1f %-12.2f\n", "CPU", cpuIPS, power.CPUTDPWatts,
+		power.ImagesPerWatt(cpuIPS, power.CPUTDPWatts))
+
+	// GPU at batch 8.
+	gpu, err := repro.NewGPUTarget(net, 8, false, repro.Seed(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	gpuIPS := runBatch(gpu, ds)
+	fmt.Printf("%-12s %-12.1f %-10.1f %-12.2f\n", "GPU", gpuIPS, power.GPUTDPWatts,
+		power.ImagesPerWatt(gpuIPS, power.GPUTDPWatts))
+
+	// 8 sticks, with the energy meter read out afterwards.
+	env := repro.NewEnv()
+	sticks, err := repro.NewNCSTestbed(env, 8, repro.Seed(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	target, err := repro.NewVPUTarget(sticks, blob, repro.DefaultVPUOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := repro.NewDatasetSource(ds, 0, images, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	col := repro.NewCollector(false)
+	job := target.Start(env, src, col.Sink())
+	env.Run()
+	if job.Err != nil {
+		log.Fatal(job.Err)
+	}
+	vpuTDP := target.TDPWatts()
+	fmt.Printf("%-12s %-12.1f %-10.1f %-12.2f\n", "VPU x8", job.Throughput(), vpuTDP,
+		power.ImagesPerWatt(job.Throughput(), vpuTDP))
+
+	// Beyond the paper: integrate the sticks' simulated power states
+	// over the run (boot, idle, SHAVE-active) instead of assuming TDP.
+	var joules, avg float64
+	for _, d := range sticks {
+		joules += d.Meter().EnergyJoules(env.Now())
+		avg += d.Meter().AveragePowerWatts(env.Now())
+	}
+	fmt.Printf("\nmeasured (simulated) energy across 8 sticks: %.1f J over %v\n", joules, env.Now())
+	fmt.Printf("average draw %.2f W total (%.2f W per stick) vs %.0f W TDP assumption\n",
+		avg, avg/8, vpuTDP)
+	fmt.Printf("metered img/W: %.2f (TDP-based: %.2f)\n",
+		float64(job.Images)/joules, power.ImagesPerWatt(job.Throughput(), vpuTDP))
+}
+
+func runBatch(t repro.Target, ds *repro.Dataset) float64 {
+	src, err := repro.NewDatasetSource(ds, 0, images, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	env := repro.NewEnv()
+	col := repro.NewCollector(false)
+	job := t.Start(env, src, col.Sink())
+	env.Run()
+	if job.Err != nil {
+		log.Fatal(job.Err)
+	}
+	return job.Throughput()
+}

@@ -1,0 +1,95 @@
+// Precision: the Fig. 7 experiment in miniature — the same images
+// classified by the FP32 network (the CPU path) and by the FP16
+// network reconstructed from the compiled NCS graph file (the VPU
+// path), comparing top-1 agreement and per-image confidence
+// differences, plus the FP16-accumulate ablation.
+//
+//	go run ./examples/precision
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+)
+
+const images = 300
+
+func main() {
+	log.SetFlags(0)
+
+	net32 := repro.NewMicroGoogLeNet(repro.DefaultMicroConfig(), repro.Seed(42))
+	ds, err := repro.NewDataset(repro.DefaultDatasetConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := repro.CalibratePrototypeClassifier(net32, ds, repro.DefaultClassifierTemperature); err != nil {
+		log.Fatal(err)
+	}
+	// The graph-file round trip is exactly what the NCS does to the
+	// weights: FP32 -> binary16 -> FP32-exact halves.
+	blob, err := repro.CompileGraph(net32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net16, err := repro.ParseGraph(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var wrong32, wrong16, wrongStrict, agree int
+	var confDiff, maxDiff float64
+	var filtered int
+	for i := 0; i < images; i++ {
+		in := ds.Preprocessed(i).Reshape(1, 3, 32, 32)
+		out32, err := net32.Forward(in, repro.FP32)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out16, err := net16.Forward(in, repro.FP16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		outS, err := net16.Forward(in, repro.FP16Strict)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := ds.Label(i)
+		p32, c32 := out32.ArgMax()
+		p16, c16 := out16.ArgMax()
+		pS, _ := outS.ArgMax()
+		if p32 != label {
+			wrong32++
+		}
+		if p16 != label {
+			wrong16++
+		}
+		if pS != label {
+			wrongStrict++
+		}
+		if p32 == p16 {
+			agree++
+		}
+		if p32 == label && p16 == label {
+			d := math.Abs(float64(c32) - float64(c16))
+			confDiff += d
+			if d > maxDiff {
+				maxDiff = d
+			}
+			filtered++
+		}
+	}
+
+	pct := func(n int) float64 { return float64(n) / images * 100 }
+	fmt.Printf("FP32 vs FP16 on %d synthetic validation images (paper Fig. 7):\n\n", images)
+	fmt.Printf("top-1 error FP32 (CPU path):        %.2f%%\n", pct(wrong32))
+	fmt.Printf("top-1 error FP16 (VPU path):        %.2f%%   (paper: 0.09%% apart)\n", pct(wrong16))
+	fmt.Printf("top-1 error FP16-accumulate:        %.2f%%   (ablation: native FP16 MAC)\n", pct(wrongStrict))
+	fmt.Printf("prediction agreement FP32 vs FP16:  %.2f%%\n", pct(agree))
+	fmt.Printf("mean |confidence diff| (filtered):  %.2e  (paper: 4.4e-3)\n", confDiff/float64(filtered))
+	fmt.Printf("max  |confidence diff| (filtered):  %.2e\n", maxDiff)
+	fmt.Printf("\nthe FP16 weights in the graph file are exactly representable halves;\n")
+	fmt.Printf("all divergence above is genuine binary16 rounding, not injected noise\n")
+}

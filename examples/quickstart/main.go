@@ -1,0 +1,92 @@
+// Quickstart: the Listing-1 workflow of the paper on one simulated
+// Neural Compute Stick — open the device, allocate a compiled graph,
+// load a tensor (non-blocking), overlap host work while the VPU runs,
+// and retrieve the classification result.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println(repro.About())
+
+	// Build the network and its synthetic validation data, install the
+	// prototype classifier (the stand-in for pre-trained weights), and
+	// compile the NCS graph blob — the mvNCCompile step.
+	net := repro.NewMicroGoogLeNet(repro.DefaultMicroConfig(), repro.Seed(42))
+	ds, err := repro.NewDataset(repro.DefaultDatasetConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := repro.CalibratePrototypeClassifier(net, ds, repro.DefaultClassifierTemperature); err != nil {
+		log.Fatal(err)
+	}
+	blob, err := repro.CompileGraph(net)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One simulated NCS on a motherboard USB port.
+	env := repro.NewEnv()
+	devices, err := repro.NewNCSTestbed(env, 1, repro.Seed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev := devices[0]
+
+	env.Process("host", func(p *repro.Proc) {
+		if err := dev.Open(p); err != nil { // loads firmware, boots the RTOS
+			log.Fatal(err)
+		}
+		graph, err := dev.AllocateGraph(p, blob, repro.GraphOptions{Functional: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("device %s ready at t=%v (graph: %d layers, %d bytes)\n",
+			dev.Name(), p.Now(), graph.Info().Layers, graph.Info().Bytes)
+
+		for i := 0; i < 5; i++ {
+			img := ds.Preprocessed(i)
+
+			// Load the graph with the input image (mvncLoadTensor):
+			// returns as soon as the transfer completes and execution
+			// is queued on the SHAVE processors.
+			loaded := p.Now()
+			if err := graph.LoadTensor(p, img, i); err != nil {
+				log.Fatal(err)
+			}
+
+			// *** Perform other overlapping computations here *** —
+			// e.g. decode the next frame. We just note the free time.
+			free := p.Now()
+
+			// Retrieve the inference result (mvncGetResult): blocks
+			// until the VPU finishes.
+			res, err := graph.GetResult(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pred, conf := res.Output.ArgMax()
+			verdict := "MISS"
+			if pred == ds.Label(i) {
+				verdict = "HIT"
+			}
+			fmt.Printf("image %d: predicted %q (class %d, conf %.3f) — truth %q [%s]\n",
+				i, ds.Synset(pred).Name, pred, conf, ds.Synset(ds.Label(i)).Name, verdict)
+			fmt.Printf("         load %v, host free %v while VPU executed %v\n",
+				free-loaded, res.ExecTime, res.ExecTime)
+		}
+		if err := dev.Close(p); err != nil {
+			log.Fatal(err)
+		}
+	})
+	env.Run()
+	fmt.Printf("total simulated time: %v\n", env.Now())
+}

@@ -1,0 +1,251 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§IV–§V): one generator per artefact, each returning a
+// Table whose rows carry both the measured values from this
+// reproduction and the paper's reported numbers side by side. The
+// cmd/ncsw-bench binary and the repository's top-level benchmarks are
+// thin wrappers over this package; EXPERIMENTS.md is written from its
+// output.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/devsim"
+	"repro/internal/graphfile"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// Config scales the experiments. The defaults reproduce the paper's
+// full workload; tests and quick runs shrink the image counts.
+type Config struct {
+	// ImagesPerSubset is the per-subset size for the performance
+	// experiments (the paper uses 10 000).
+	ImagesPerSubset int
+	// Subsets is the number of validation subsets (the paper uses 5).
+	Subsets int
+	// FunctionalImagesPerSubset is the per-subset size for the
+	// accuracy experiments (Fig. 7), which execute real arithmetic and
+	// are far more expensive per image.
+	FunctionalImagesPerSubset int
+	// Workers bounds the goroutine pool of the functional experiments
+	// (0 = GOMAXPROCS).
+	Workers int
+	// Seed drives every random stream.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper-scale configuration.
+func DefaultConfig() Config {
+	return Config{
+		ImagesPerSubset:           10000,
+		Subsets:                   5,
+		FunctionalImagesPerSubset: 10000,
+		Seed:                      1,
+	}
+}
+
+// QuickConfig returns a configuration sized for CI runs: same
+// structure, two orders of magnitude fewer images.
+func QuickConfig() Config {
+	return Config{
+		ImagesPerSubset:           400,
+		Subsets:                   5,
+		FunctionalImagesPerSubset: 200,
+		Seed:                      1,
+	}
+}
+
+func (c Config) validate() error {
+	if c.ImagesPerSubset < 1 || c.FunctionalImagesPerSubset < 1 {
+		return fmt.Errorf("bench: non-positive image counts in %+v", c)
+	}
+	if c.Subsets < 1 {
+		return fmt.Errorf("bench: need at least one subset")
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("bench: negative workers")
+	}
+	return nil
+}
+
+// Table is one regenerated artefact.
+type Table struct {
+	ID      string // "fig6a", "fig7b", ...
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row; it panics on column-count mismatch
+// so generators cannot silently produce ragged tables.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("bench: table %s row has %d cells, want %d", t.ID, len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders an aligned plain-text table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub markdown (for EXPERIMENTS.md).
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Harness caches the expensive shared artefacts (the GoogLeNet graph,
+// its compiled blob, the micro network) across experiments.
+type Harness struct {
+	cfg      Config
+	goog     *nn.Graph
+	blob     []byte
+	workload devsim.Workload
+}
+
+// NewHarness validates cfg and builds the shared artefacts.
+func NewHarness(cfg Config) (*Harness, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	goog := nn.NewGoogLeNet(rng.New(cfg.Seed).Derive("googlenet-weights"))
+	blob, err := graphfile.Compile(goog)
+	if err != nil {
+		return nil, err
+	}
+	return &Harness{
+		cfg:      cfg,
+		goog:     goog,
+		blob:     blob,
+		workload: devsim.WorkloadOf(goog),
+	}, nil
+}
+
+// Config returns the harness configuration.
+func (h *Harness) Config() Config { return h.cfg }
+
+// GoogLeNet returns the cached full-size network.
+func (h *Harness) GoogLeNet() *nn.Graph { return h.goog }
+
+// Blob returns the compiled GoogLeNet graph file.
+func (h *Harness) Blob() []byte { return h.blob }
+
+// All runs every experiment in paper order.
+func (h *Harness) All() ([]*Table, error) {
+	type gen struct {
+		name string
+		fn   func() (*Table, error)
+	}
+	gens := []gen{
+		{"fig6a", h.Fig6a},
+		{"fig6b", h.Fig6b},
+		{"fig7a", h.Fig7a},
+		{"fig7b", h.Fig7b},
+		{"fig8a", h.Fig8a},
+		{"fig8b", h.Fig8b},
+		{"summary", h.Summary},
+		{"ablation", h.Ablation},
+		{"precision", func() (*Table, error) { return h.PrecisionAblation(precisionImages(h.cfg)) }},
+		{"gemm", h.GEMMStudy},
+	}
+	var out []*Table
+	for _, g := range gens {
+		t, err := g.fn()
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", g.name, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Experiment runs one experiment by table ID.
+func (h *Harness) Experiment(id string) (*Table, error) {
+	switch id {
+	case "fig6a":
+		return h.Fig6a()
+	case "fig6b":
+		return h.Fig6b()
+	case "fig7a":
+		return h.Fig7a()
+	case "fig7b":
+		return h.Fig7b()
+	case "fig8a":
+		return h.Fig8a()
+	case "fig8b":
+		return h.Fig8b()
+	case "summary":
+		return h.Summary()
+	case "ablation":
+		return h.Ablation()
+	case "precision":
+		return h.PrecisionAblation(precisionImages(h.cfg))
+	case "gemm":
+		return h.GEMMStudy()
+	default:
+		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", id, ExperimentIDs())
+	}
+}
+
+// precisionImages bounds the precision ablation: its FP16-accumulate
+// pass emulates per-element rounding in software and costs ~25 ms per
+// image on one thread, so paper-scale configs cap it at 2000 images
+// (the ablation compares error-rate deltas of several percent, for
+// which 2000 samples give ±1% resolution).
+func precisionImages(cfg Config) int {
+	const cap = 2000
+	if cfg.FunctionalImagesPerSubset > cap {
+		return cap
+	}
+	return cfg.FunctionalImagesPerSubset
+}
+
+// ExperimentIDs lists the available artefacts: the paper's figures in
+// order, the headline summary, and the beyond-the-paper studies.
+func ExperimentIDs() []string {
+	return []string{"fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "summary", "ablation", "precision", "gemm"}
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/imagenet"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// CalibrateNoise searches for the dataset noise sigma at which the
+// reference FP32 pipeline measures the target top-1 error. It is the
+// tool that produced imagenet.CalibratedNoiseSigma; rerun it (via
+// cmd/calib-noise) whenever the micro network or the dataset geometry
+// changes. The search is a bisection over the (empirically monotone)
+// sigma-to-error curve.
+func CalibrateNoise(targetErr float64, images, iterations int) (sigma float64, achieved float64, err error) {
+	if targetErr <= 0 || targetErr >= 1 {
+		return 0, 0, fmt.Errorf("bench: target error %g out of (0,1)", targetErr)
+	}
+	if images < 100 {
+		return 0, 0, fmt.Errorf("bench: need >= 100 calibration images, got %d", images)
+	}
+	lo, hi := 1.0, 128.0
+	loErr, err := MeasureErrorAt(lo, images)
+	if err != nil {
+		return 0, 0, err
+	}
+	hiErr, err := MeasureErrorAt(hi, images)
+	if err != nil {
+		return 0, 0, err
+	}
+	if targetErr < loErr || targetErr > hiErr {
+		return 0, 0, fmt.Errorf("bench: target %.3f outside achievable [%.3f, %.3f]", targetErr, loErr, hiErr)
+	}
+	var mid, midErr float64
+	for i := 0; i < iterations; i++ {
+		mid = (lo + hi) / 2
+		midErr, err = MeasureErrorAt(mid, images)
+		if err != nil {
+			return 0, 0, err
+		}
+		if midErr < targetErr {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return mid, midErr, nil
+}
+
+// MeasureErrorAt runs the reference FP32 pipeline at one noise level
+// over the first `images` validation images and returns the top-1
+// error.
+func MeasureErrorAt(sigma float64, images int) (float64, error) {
+	cfg := imagenet.DefaultConfig()
+	cfg.NoiseSigma = sigma
+	cfg.Images = images
+	ds, err := imagenet.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	net := nn.NewMicroGoogLeNet(nn.DefaultMicroConfig(), rng.New(microWeightSeed))
+	if err := nn.CalibrateClassifier(net, nn.MicroClassifierName, nn.MicroPoolName,
+		ds.PreprocessedPrototypes(), classifierTemperature); err != nil {
+		return 0, err
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > images {
+		workers = images
+	}
+	wrong := make([]int, workers)
+	errs := make([]error, workers)
+	per := (images + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > images {
+			hi = images
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				img := ds.Preprocessed(i)
+				in := img.Reshape(1, 3, cfg.Size, cfg.Size)
+				out, err := net.Forward(in, nn.FP32)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if pred, _ := out.ArgMax(); pred != ds.Label(i) {
+					wrong[w]++
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for w := range wrong {
+		if errs[w] != nil {
+			return 0, errs[w]
+		}
+		total += wrong[w]
+	}
+	return float64(total) / float64(images), nil
+}

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/devsim"
+	"repro/internal/imagenet"
+	"repro/internal/ncs"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/usb"
+)
+
+// perfResult is one performance measurement: steady-state throughput
+// plus the dispersion behind the figure's error bars.
+type perfResult struct {
+	ImagesPerSec float64
+	PerImageMS   float64
+	// StdMS is the standard deviation of per-inference (VPU) or
+	// per-batch-amortized (CPU/GPU) latencies in milliseconds.
+	StdMS float64
+}
+
+// runVPU measures an n-stick multi-VPU run over `images` inferences.
+// runName isolates the jitter and topology seeds, so distinct subsets
+// measure slightly different values — the error bars of Fig. 6a.
+func (h *Harness) runVPU(n, images int, runName string) (perfResult, error) {
+	env := sim.NewEnv()
+	_, ports, err := usb.Testbed(env, usb.DefaultConfig(), n)
+	if err != nil {
+		return perfResult{}, err
+	}
+	seed := rng.New(h.cfg.Seed).Derive("vpu-run/" + runName)
+	devices := make([]*ncs.Device, n)
+	for i, port := range ports {
+		d, err := ncs.NewDevice(env, port.Name(), port, ncs.DefaultConfig(), seed)
+		if err != nil {
+			return perfResult{}, err
+		}
+		devices[i] = d
+	}
+	target, err := core.NewVPUTarget(devices, h.blob, core.DefaultVPUOptions())
+	if err != nil {
+		return perfResult{}, err
+	}
+	ds, err := h.perfDatasetSized(images)
+	if err != nil {
+		return perfResult{}, err
+	}
+	src, err := core.NewDatasetSource(ds, 0, images, false)
+	if err != nil {
+		return perfResult{}, err
+	}
+	col := core.NewCollector(true)
+	job := target.Start(env, src, col.Sink())
+	env.Run()
+	if job.Err != nil {
+		return perfResult{}, job.Err
+	}
+	var spans stats.Running
+	for _, r := range col.Results {
+		spans.Add((r.End - r.Start).Seconds() * 1e3)
+	}
+	ips := job.Throughput()
+	return perfResult{
+		ImagesPerSec: ips,
+		PerImageMS:   1e3 / ips,
+		StdMS:        spans.Std(),
+	}, nil
+}
+
+// runBatchDevice measures a Caffe-style batch engine at the given
+// batch size over `images` images.
+func (h *Harness) runBatchDevice(dev string, batch, images int, runName string) (perfResult, error) {
+	seed := rng.New(h.cfg.Seed).Derive(dev + "-run/" + runName)
+	var target *core.BatchTarget
+	var err error
+	switch dev {
+	case "cpu":
+		eng, e := devsim.NewCPU(devsim.DefaultCPUConfig(), h.workload, seed)
+		if e != nil {
+			return perfResult{}, e
+		}
+		target, err = core.NewCPUTarget(eng, h.goog, batch, false)
+	case "gpu":
+		eng, e := devsim.NewGPU(devsim.DefaultGPUConfig(), h.workload, seed)
+		if e != nil {
+			return perfResult{}, e
+		}
+		target, err = core.NewGPUTarget(eng, h.goog, batch, false)
+	default:
+		return perfResult{}, fmt.Errorf("bench: unknown device %q", dev)
+	}
+	if err != nil {
+		return perfResult{}, err
+	}
+	ds, err := h.perfDatasetSized(images)
+	if err != nil {
+		return perfResult{}, err
+	}
+	src, err := core.NewDatasetSource(ds, 0, images, false)
+	if err != nil {
+		return perfResult{}, err
+	}
+	env := sim.NewEnv()
+	col := core.NewCollector(true)
+	job := target.Start(env, src, col.Sink())
+	env.Run()
+	if job.Err != nil {
+		return perfResult{}, job.Err
+	}
+	// Per-batch spans, amortized per image.
+	var spans stats.Running
+	seen := map[int64]bool{}
+	for _, r := range col.Results {
+		key := int64(r.Start)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		spans.Add((r.End - r.Start).Seconds() * 1e3 / float64(batch))
+	}
+	ips := job.Throughput()
+	return perfResult{
+		ImagesPerSec: ips,
+		PerImageMS:   1e3 / ips,
+		StdMS:        spans.Std(),
+	}, nil
+}
+
+// perfDatasetSized builds a label-only dataset with exactly n images.
+func (h *Harness) perfDatasetSized(n int) (*imagenet.Dataset, error) {
+	cfg := imagenet.DefaultConfig()
+	cfg.Images = n
+	cfg.Subsets = 1
+	cfg.Seed = h.cfg.Seed + 2012
+	return imagenet.New(cfg)
+}
+
+// fmtRatio renders a measured-vs-paper pair as "x (paper y)".
+func fmtRatio(measured, paper float64, format string) string {
+	return fmt.Sprintf(format+" (paper "+format+")", measured, paper)
+}
+
+// pctDelta formats the relative deviation from the paper's value.
+func pctDelta(measured, paper float64) string {
+	if paper == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (measured/paper-1)*100)
+}
+
+// round2 keeps tables stable across float formatting quirks.
+func round2(v float64) float64 { return math.Round(v*100) / 100 }

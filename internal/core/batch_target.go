@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/devsim"
+	"repro/internal/nn"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// batchEngine is the common face of the two Caffe baselines.
+type batchEngine interface {
+	NextBatchDuration(b int) time.Duration
+	TDPWatts() float64
+}
+
+// BatchTarget runs a Caffe-style batch device: it gathers up to
+// BatchSize items from the source, prices the batch on the device
+// model, and (optionally) computes the outputs with a real FP32
+// forward pass. The paper uses "the traditional Caffe batch-based
+// processing on the CPU and GPU tests" (§IV).
+type BatchTarget struct {
+	name       string
+	engine     batchEngine
+	graph      *nn.Graph
+	batchSize  int
+	functional bool
+	timeline   *trace.Timeline
+}
+
+// NewCPUTarget builds the Caffe-MKL target.
+func NewCPUTarget(engine *devsim.CPU, graph *nn.Graph, batchSize int, functional bool) (*BatchTarget, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("core: cpu target needs an engine")
+	}
+	return newBatchTarget("cpu", engine, graph, batchSize, functional)
+}
+
+// NewGPUTarget builds the Caffe-cuDNN target. Functional execution
+// uses the same FP32 forward as the CPU: the paper confirms the GPU
+// "provides equivalent confidence results" (§IV-B, footnote 6).
+func NewGPUTarget(engine *devsim.GPU, graph *nn.Graph, batchSize int, functional bool) (*BatchTarget, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("core: gpu target needs an engine")
+	}
+	return newBatchTarget("gpu", engine, graph, batchSize, functional)
+}
+
+func newBatchTarget(name string, engine batchEngine, graph *nn.Graph, batchSize int, functional bool) (*BatchTarget, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("core: %s target needs an engine", name)
+	}
+	if batchSize < 1 {
+		return nil, fmt.Errorf("core: batch size %d", batchSize)
+	}
+	if functional && graph == nil {
+		return nil, fmt.Errorf("core: functional %s target needs a graph", name)
+	}
+	if graph == nil && batchSize > 0 {
+		// Non-functional runs still need the graph for the workload; the
+		// engine already embeds it, so a nil graph is acceptable.
+		_ = graph
+	}
+	return &BatchTarget{
+		name:       name,
+		engine:     engine,
+		graph:      graph,
+		batchSize:  batchSize,
+		functional: functional,
+		timeline:   trace.Disabled(),
+	}, nil
+}
+
+// SetTimeline attaches a trace timeline (Fig. 4-style spans).
+func (t *BatchTarget) SetTimeline(tl *trace.Timeline) { t.timeline = tl }
+
+// Name implements Target.
+func (t *BatchTarget) Name() string { return t.name }
+
+// TDPWatts implements Target.
+func (t *BatchTarget) TDPWatts() float64 { return t.engine.TDPWatts() }
+
+// Start implements Target.
+func (t *BatchTarget) Start(env *sim.Env, src Source, sink func(Result)) *Job {
+	job := &Job{}
+	env.Process(t.name, func(p *sim.Proc) {
+		job.ReadyAt = p.Now()
+		batch := make([]Item, 0, t.batchSize)
+		for {
+			batch = batch[:0]
+			for len(batch) < t.batchSize {
+				item, ok := src.Next(p)
+				if !ok {
+					break
+				}
+				batch = append(batch, item)
+			}
+			if len(batch) == 0 {
+				break
+			}
+			start := p.Now()
+			d := t.engine.NextBatchDuration(len(batch))
+			p.Sleep(d)
+			t.timeline.Add(t.name, trace.Compute, start, p.Now(), fmt.Sprintf("batch=%d", len(batch)))
+			t.emit(batch, start, p.Now(), sink, job)
+			job.Images += len(batch)
+		}
+		job.DoneAt = p.Now()
+	})
+	return job
+}
+
+// emit produces one Result per batch item, running the functional
+// forward pass when enabled.
+func (t *BatchTarget) emit(batch []Item, start, end time.Duration, sink func(Result), job *Job) {
+	var outputs *tensor.T
+	if t.functional {
+		in, ok := t.stack(batch)
+		if ok {
+			out, err := t.graph.Forward(in, nn.FP32)
+			if err != nil {
+				if job.Err == nil {
+					job.Err = err
+				}
+			} else {
+				outputs = out
+			}
+		}
+	}
+	classes := 0
+	if outputs != nil {
+		classes = outputs.Elems() / len(batch)
+	}
+	for i, item := range batch {
+		r := Result{
+			Index:  item.Index,
+			Label:  item.Label,
+			Pred:   -1,
+			Start:  start,
+			End:    end,
+			Device: t.name,
+		}
+		if outputs != nil {
+			row := tensor.FromSlice(outputs.Data[i*classes:(i+1)*classes], classes)
+			pred, conf := row.ArgMax()
+			r.Pred, r.Confidence, r.Output = pred, conf, row
+		}
+		sink(r)
+	}
+}
+
+// stack assembles the batch input tensor; it reports false when any
+// image is missing (pure-performance items).
+func (t *BatchTarget) stack(batch []Item) (*tensor.T, bool) {
+	shape := t.graph.InputShape()
+	per := shape.Elems()
+	out := tensor.New(append(tensor.Shape{len(batch)}, shape...)...)
+	for i, item := range batch {
+		if item.Image == nil {
+			return nil, false
+		}
+		if item.Image.Elems() != per {
+			return nil, false
+		}
+		copy(out.Data[i*per:(i+1)*per], item.Image.Data)
+	}
+	return out, true
+}

@@ -1,0 +1,262 @@
+// Package core is the Go port of NCSw, the paper's §III contribution:
+// a small inference framework that connects input *sources* to target
+// *devices* (the class diagram of Fig. 3) and schedules parallel
+// multi-VPU execution with one worker per Neural Compute Stick, static
+// round-robin dispatch and load/result overlap across devices (the
+// timeline of Fig. 4).
+//
+// Sources produce work items (images with ground-truth labels);
+// targets consume a source inside a simulation environment and emit a
+// Result per inference. The three targets mirror the paper's three
+// implementations: Caffe-MKL on the CPU, Caffe-cuDNN on the GPU (both
+// batch engines), and the multi-VPU NCS pipeline. Different sources
+// can feed different targets in the same environment, which is how
+// §III's device groups ("run a specific subset of inputs on a GPU, and
+// at the same time another subset ... on several VPUs") compose.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/imagenet"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+)
+
+// Item is one unit of work: an image to classify. Image may be nil in
+// pure-performance runs (the devices still pay full transfer and
+// execution costs; they just skip numeric inference). Label is the
+// ground-truth class, or -1 when unknown.
+type Item struct {
+	Index int
+	Image *tensor.T
+	Label int
+}
+
+// Source produces items. Next blocks in virtual time when the source
+// is momentarily empty (streaming sources) and reports ok=false when
+// exhausted. Implementations need no locking: the simulation kernel
+// runs one process at a time.
+type Source interface {
+	Next(p *sim.Proc) (Item, bool)
+}
+
+// Result is one completed inference.
+type Result struct {
+	Index int
+	Label int // ground truth, -1 unknown
+	Pred  int // predicted class, -1 when non-functional
+	// Confidence is the softmax confidence of the predicted class.
+	Confidence float32
+	// Output is the full confidence vector when the target retains it.
+	Output *tensor.T
+	// Start/End are virtual timestamps of the inference span.
+	Start, End time.Duration
+	// Device identifies which device produced the result.
+	Device string
+	// Err records a functional inference failure.
+	Err error
+}
+
+// Job tracks one target run. Its fields become meaningful as the
+// simulation advances; read them after Env.Run returns.
+type Job struct {
+	// ReadyAt is when setup finished (devices opened, graphs
+	// allocated) and steady-state processing began; throughput is
+	// measured from here, matching the paper's exclusion of one-time
+	// setup.
+	ReadyAt time.Duration
+	// DoneAt is when the last result completed and the target shut
+	// down.
+	DoneAt time.Duration
+	// Images is the number of completed inferences.
+	Images int
+	// Err is the first error encountered, if any.
+	Err error
+}
+
+// Throughput returns images per second over the steady-state window.
+func (j *Job) Throughput() float64 {
+	span := (j.DoneAt - j.ReadyAt).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(j.Images) / span
+}
+
+// Target consumes a source inside env, calling sink for every result.
+// Start registers simulation processes and returns immediately; the
+// caller then drives env.Run.
+type Target interface {
+	Name() string
+	TDPWatts() float64
+	Start(env *sim.Env, src Source, sink func(Result)) *Job
+}
+
+// DatasetSource serves a half-open index range of a synthetic
+// ImageNet dataset (one of the paper's 10 000-image subsets, usually).
+type DatasetSource struct {
+	ds         *imagenet.Dataset
+	next, hi   int
+	functional bool
+}
+
+// NewDatasetSource creates a source over images [lo, hi) of ds. When
+// functional is false, items carry labels but nil images, which keeps
+// pure-performance runs free of real compute.
+func NewDatasetSource(ds *imagenet.Dataset, lo, hi int, functional bool) (*DatasetSource, error) {
+	if lo < 0 || hi > ds.Len() || lo >= hi {
+		return nil, fmt.Errorf("core: range [%d,%d) invalid for dataset of %d", lo, hi, ds.Len())
+	}
+	return &DatasetSource{ds: ds, next: lo, hi: hi, functional: functional}, nil
+}
+
+// Next implements Source.
+func (s *DatasetSource) Next(_ *sim.Proc) (Item, bool) {
+	if s.next >= s.hi {
+		return Item{}, false
+	}
+	i := s.next
+	s.next++
+	item := Item{Index: i, Label: s.ds.Label(i)}
+	if s.functional {
+		item.Image = s.ds.Preprocessed(i)
+	}
+	return item, true
+}
+
+// SliceSource serves a fixed slice of items (tests, small demos).
+type SliceSource struct {
+	items []Item
+	next  int
+}
+
+// NewSliceSource wraps items in a source.
+func NewSliceSource(items []Item) *SliceSource {
+	return &SliceSource{items: items}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next(_ *sim.Proc) (Item, bool) {
+	if s.next >= len(s.items) {
+		return Item{}, false
+	}
+	s.next++
+	return s.items[s.next-1], true
+}
+
+// StreamSource is the MPI-stream-style source of Fig. 3: producers
+// push items from their own simulated processes (an MPI rank, a camera
+// pipeline), consumers block in virtual time until data arrives.
+type StreamSource struct {
+	q      *sim.Queue[Item]
+	closed bool
+}
+
+// NewStreamSource creates a stream with the given buffer capacity
+// (0 = unbounded).
+func NewStreamSource(env *sim.Env, capacity int) *StreamSource {
+	return &StreamSource{q: sim.NewQueue[Item](env, "core/stream", capacity)}
+}
+
+// Push appends an item, blocking while the buffer is full. Pushing
+// after Close panics: it is a protocol bug in the producer.
+func (s *StreamSource) Push(p *sim.Proc, item Item) {
+	if s.closed {
+		panic("core: Push after Close")
+	}
+	s.q.Put(p, item)
+}
+
+// Close marks the end of the stream; consumers drain the buffer and
+// then see exhaustion.
+func (s *StreamSource) Close(p *sim.Proc) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.q.Put(p, Item{Index: -1}) // sentinel
+}
+
+// Next implements Source.
+func (s *StreamSource) Next(p *sim.Proc) (Item, bool) {
+	item := s.q.Get(p)
+	if item.Index == -1 {
+		// Re-post the sentinel so every consumer terminates.
+		s.q.TryPut(Item{Index: -1})
+		return Item{}, false
+	}
+	return item, true
+}
+
+// Collector is a convenience sink accumulating accuracy and timing
+// aggregates, optionally retaining every result.
+type Collector struct {
+	N          int
+	Correct    int
+	Mispred    int
+	ConfSum    float64
+	Results    []Result
+	retain     bool
+	firstStart time.Duration
+	lastEnd    time.Duration
+	any        bool
+}
+
+// NewCollector creates a collector; retain keeps full results.
+func NewCollector(retain bool) *Collector {
+	return &Collector{retain: retain}
+}
+
+// Sink returns the callback to pass to Target.Start.
+func (c *Collector) Sink() func(Result) {
+	return func(r Result) {
+		c.N++
+		if r.Pred >= 0 && r.Label >= 0 {
+			if r.Pred == r.Label {
+				c.Correct++
+			} else {
+				c.Mispred++
+			}
+		}
+		c.ConfSum += float64(r.Confidence)
+		if !c.any || r.Start < c.firstStart {
+			c.firstStart = r.Start
+		}
+		if r.End > c.lastEnd {
+			c.lastEnd = r.End
+		}
+		c.any = true
+		if c.retain {
+			c.Results = append(c.Results, r)
+		}
+	}
+}
+
+// TopOneError returns the fraction of classified items whose top-1
+// prediction missed (the paper's §IV-B estimation).
+func (c *Collector) TopOneError() float64 {
+	total := c.Correct + c.Mispred
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Mispred) / float64(total)
+}
+
+// MeanConfidence returns the average top-1 confidence.
+func (c *Collector) MeanConfidence() float64 {
+	if c.N == 0 {
+		return 0
+	}
+	return c.ConfSum / float64(c.N)
+}
+
+// Span returns the virtual time between the first inference start and
+// the last completion.
+func (c *Collector) Span() time.Duration {
+	if !c.any {
+		return 0
+	}
+	return c.lastEnd - c.firstStart
+}

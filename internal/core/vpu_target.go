@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ncs"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// Scheduling selects how the multi-VPU dispatcher assigns items to
+// devices.
+type Scheduling int
+
+const (
+	// RoundRobin is the paper's static scheduling (§III): item i goes
+	// to device i mod N, in order.
+	RoundRobin Scheduling = iota
+	// Dynamic lets idle workers steal the next item — the ablation
+	// alternative to the paper's choice.
+	Dynamic
+)
+
+// String names the policy.
+func (s Scheduling) String() string {
+	if s == Dynamic {
+		return "dynamic"
+	}
+	return "round-robin"
+}
+
+// VPUOptions configures the multi-VPU target.
+type VPUOptions struct {
+	// Functional enables numeric FP16 inference on the sticks.
+	Functional bool
+	// Scheduling selects the dispatch policy (default RoundRobin).
+	Scheduling Scheduling
+	// Overlap makes each worker keep two inferences in flight per
+	// stick (exploiting the NCS FIFO), hiding the USB transfer behind
+	// execution. The paper's NCSw issues load/get sequentially per
+	// device (Listing 1); overlap is the ablation showing what the
+	// non-blocking API could buy.
+	Overlap bool
+	// HostOverhead is the host-side thread cost charged around each
+	// LoadTensor and GetResult (thread wakeup, pixel marshalling).
+	// Calibrated to the paper's multi-VPU penalty; default 250µs.
+	HostOverhead time.Duration
+	// Timeline receives Fig. 4 spans when set.
+	Timeline *trace.Timeline
+}
+
+// DefaultVPUOptions returns the paper-faithful configuration.
+func DefaultVPUOptions() VPUOptions {
+	return VPUOptions{
+		Functional:   false,
+		Scheduling:   RoundRobin,
+		Overlap:      false,
+		HostOverhead: 250 * time.Microsecond,
+	}
+}
+
+// VPUTarget is the parallel multi-VPU implementation of NCSw: a main
+// process connects to every NCS device, forks one worker thread per
+// device, dispatches items round-robin, and joins the workers when the
+// source drains (Fig. 4).
+type VPUTarget struct {
+	devices []*ncs.Device
+	blob    []byte
+	opts    VPUOptions
+}
+
+// NewVPUTarget builds the target. blob is the compiled graph file
+// loaded onto every stick.
+func NewVPUTarget(devices []*ncs.Device, blob []byte, opts VPUOptions) (*VPUTarget, error) {
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("core: multi-VPU target needs at least one device")
+	}
+	if len(blob) == 0 {
+		return nil, fmt.Errorf("core: empty graph blob")
+	}
+	if opts.HostOverhead < 0 {
+		return nil, fmt.Errorf("core: negative host overhead")
+	}
+	if opts.Timeline == nil {
+		opts.Timeline = trace.Disabled()
+	}
+	return &VPUTarget{devices: devices, blob: blob, opts: opts}, nil
+}
+
+// Name implements Target.
+func (t *VPUTarget) Name() string {
+	return fmt.Sprintf("vpu-multi(%d)", len(t.devices))
+}
+
+// TDPWatts implements Target: the aggregate stick TDP, the Fig. 8a
+// denominator.
+func (t *VPUTarget) TDPWatts() float64 {
+	return power.MultiVPUTDP(len(t.devices))
+}
+
+// Devices returns the managed devices.
+func (t *VPUTarget) Devices() []*ncs.Device { return t.devices }
+
+// Start implements Target.
+func (t *VPUTarget) Start(env *sim.Env, src Source, sink func(Result)) *Job {
+	job := &Job{}
+	env.Process("ncsw-main", func(p *sim.Proc) {
+		n := len(t.devices)
+		tl := t.opts.Timeline
+
+		// 1. Connect: open every device and allocate the graph (the
+		// main host process is responsible for connecting to each
+		// device, §III).
+		graphs := make([]*ncs.Graph, n)
+		for i, d := range t.devices {
+			if tl.Enabled() {
+				d.SetExecObserver(func(name string, start, end time.Duration) {
+					tl.Add(name, trace.Exec, start, end, "")
+				})
+			}
+			if err := d.Open(p); err != nil {
+				job.Err = fmt.Errorf("core: open %s: %w", d.Name(), err)
+				job.DoneAt = p.Now()
+				return
+			}
+			g, err := d.AllocateGraph(p, t.blob, ncs.GraphOptions{Functional: t.opts.Functional})
+			if err != nil {
+				job.Err = fmt.Errorf("core: allocate on %s: %w", d.Name(), err)
+				job.DoneAt = p.Now()
+				return
+			}
+			graphs[i] = g
+		}
+		job.ReadyAt = p.Now()
+
+		// 2. Fork one worker per device, fed by per-worker queues.
+		forkStart := p.Now()
+		queues := make([]*sim.Queue[Item], n)
+		for i := range queues {
+			queues[i] = sim.NewQueue[Item](env, fmt.Sprintf("ncsw/q%d", i), 2)
+		}
+		done := sim.NewQueue[int](env, "ncsw/join", 0)
+		for i := range t.devices {
+			i := i
+			env.Process(fmt.Sprintf("ncsw-worker%d", i), func(wp *sim.Proc) {
+				t.worker(wp, t.devices[i], graphs[i], queues[i], sink, job)
+				done.Put(wp, i)
+			})
+		}
+		tl.Add("main", trace.Fork, forkStart, p.Now(), fmt.Sprintf("%d workers", n))
+
+		// 3. Dispatch. Round-robin pushes item k to queue k mod n;
+		// dynamic pushes to whichever queue has room first.
+		k := 0
+		for {
+			item, ok := src.Next(p)
+			if !ok {
+				break
+			}
+			switch t.opts.Scheduling {
+			case RoundRobin:
+				queues[k%n].Put(p, item)
+			case Dynamic:
+				t.dispatchDynamic(p, queues, item, k)
+			}
+			k++
+		}
+		for i := range queues {
+			queues[i].Put(p, Item{Index: -1}) // per-worker shutdown
+		}
+
+		// 4. Join workers, then close devices.
+		joinStart := p.Now()
+		for range t.devices {
+			done.Get(p)
+		}
+		tl.Add("main", trace.Join, joinStart, p.Now(), "")
+		for _, d := range t.devices {
+			if err := d.Close(p); err != nil && job.Err == nil {
+				job.Err = err
+			}
+		}
+		job.DoneAt = p.Now()
+	})
+	return job
+}
+
+// dispatchDynamic places the item on the first queue with room,
+// scanning from the item's round-robin home for fairness, blocking on
+// the home queue when all are full.
+func (t *VPUTarget) dispatchDynamic(p *sim.Proc, queues []*sim.Queue[Item], item Item, k int) {
+	n := len(queues)
+	for off := 0; off < n; off++ {
+		if queues[(k+off)%n].TryPut(item) {
+			return
+		}
+	}
+	queues[k%n].Put(p, item)
+}
+
+// worker drains its queue through one stick, sequential per Listing 1
+// (or two-deep pipelined with Overlap).
+func (t *VPUTarget) worker(p *sim.Proc, dev *ncs.Device, g *ncs.Graph, q *sim.Queue[Item], sink func(Result), job *Job) {
+	tl := t.opts.Timeline
+	type inflight struct {
+		item  Item
+		start time.Duration
+	}
+	var pending []inflight
+
+	emit := func(fl inflight) bool {
+		readStart := p.Now()
+		res, err := g.GetResult(p)
+		if err != nil {
+			if job.Err == nil {
+				job.Err = err
+			}
+			return false
+		}
+		p.Sleep(t.opts.HostOverhead)
+		tl.Add(dev.Name(), trace.Read, readStart, p.Now(), "")
+		r := Result{
+			Index:  fl.item.Index,
+			Label:  fl.item.Label,
+			Pred:   -1,
+			Start:  fl.start,
+			End:    p.Now(),
+			Device: dev.Name(),
+			Err:    res.Err,
+		}
+		if res.Output != nil {
+			pred, conf := res.Output.ArgMax()
+			r.Pred, r.Confidence, r.Output = pred, conf, res.Output
+		}
+		sink(r)
+		job.Images++
+		return true
+	}
+
+	depth := 1
+	if t.opts.Overlap {
+		depth = 2
+	}
+	for {
+		item := q.Get(p)
+		if item.Index == -1 {
+			break
+		}
+		start := p.Now()
+		p.Sleep(t.opts.HostOverhead)
+		var img *tensor.T
+		if t.opts.Functional {
+			img = item.Image
+		}
+		loadStart := p.Now()
+		if err := g.LoadTensor(p, img, item.Index); err != nil {
+			if job.Err == nil {
+				job.Err = err
+			}
+			break
+		}
+		tl.Add(dev.Name(), trace.Load, loadStart, p.Now(), fmt.Sprintf("img%d", item.Index))
+		pending = append(pending, inflight{item: item, start: start})
+		if len(pending) >= depth {
+			if !emit(pending[0]) {
+				return
+			}
+			pending = pending[1:]
+		}
+	}
+	for _, fl := range pending {
+		if !emit(fl) {
+			return
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package devsim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+func googWorkload(t testing.TB) Workload {
+	t.Helper()
+	return WorkloadOf(nn.NewGoogLeNet(rng.New(1)))
+}
+
+func msOf(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func TestPeakFlops(t *testing.T) {
+	if got := DefaultCPUConfig().PeakFlops(); math.Abs(got-160e9) > 1 {
+		t.Errorf("CPU peak = %g, want 160e9", got)
+	}
+	if got := DefaultGPUConfig().PeakFlops(); math.Abs(got-1.24416e12) > 1 {
+		t.Errorf("GPU peak = %g, want 1.24416e12", got)
+	}
+}
+
+// TestCPUCalibration anchors the CPU model to the paper's measured
+// points: 26.0 ms at batch 1, 22.7 ms/img at batch 8 and the derived
+// 14.7% improvement.
+func TestCPUCalibration(t *testing.T) {
+	cpu, err := NewCPU(DefaultCPUConfig(), googWorkload(t), rng.New(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := msOf(cpu.BaseBatchDuration(1))
+	if math.Abs(b1-26.0) > 0.8 {
+		t.Errorf("CPU batch-1 latency = %.2f ms, want ~26.0", b1)
+	}
+	b8 := msOf(cpu.BaseBatchDuration(8)) / 8
+	if math.Abs(b8-22.7) > 0.7 {
+		t.Errorf("CPU batch-8 per-image = %.2f ms, want ~22.7", b8)
+	}
+	scaling := b1 / b8
+	if scaling < 1.08 || scaling > 1.22 {
+		t.Errorf("CPU scaling at 8 = %.2fx, paper reports 1.1x", scaling)
+	}
+	// Fig. 8b: at batch 16 the CPU should top out near 44.5 img/s.
+	b16 := cpu.BaseBatchDuration(16).Seconds() / 16
+	ips := 1 / b16
+	if math.Abs(ips-44.5) > 1.5 {
+		t.Errorf("CPU batch-16 throughput = %.1f img/s, paper reports 44.5", ips)
+	}
+}
+
+// TestGPUCalibration anchors the GPU model: 25.9 ms at batch 1,
+// 13.5 ms/img at batch 8 (1.9x), 79.9 img/s at 16.
+func TestGPUCalibration(t *testing.T) {
+	gpu, err := NewGPU(DefaultGPUConfig(), googWorkload(t), rng.New(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := msOf(gpu.BaseBatchDuration(1))
+	if math.Abs(b1-25.9) > 0.8 {
+		t.Errorf("GPU batch-1 latency = %.2f ms, want ~25.9", b1)
+	}
+	b8 := msOf(gpu.BaseBatchDuration(8)) / 8
+	if math.Abs(b8-13.5) > 0.5 {
+		t.Errorf("GPU batch-8 per-image = %.2f ms, want ~13.5", b8)
+	}
+	scaling := b1 / b8
+	if scaling < 1.82 || scaling > 2.02 {
+		t.Errorf("GPU scaling at 8 = %.2fx, paper reports 1.9x", scaling)
+	}
+	ips16 := 16 / gpu.BaseBatchDuration(16).Seconds()
+	if math.Abs(ips16-79.9) > 2.5 {
+		t.Errorf("GPU batch-16 throughput = %.1f img/s, paper reports 79.9", ips16)
+	}
+}
+
+func TestGPUUtilizationCurveMonotone(t *testing.T) {
+	gpu, err := NewGPU(DefaultGPUConfig(), googWorkload(t), rng.New(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for b := 1; b <= 64; b *= 2 {
+		u := gpu.Utilization(b)
+		if u <= prev {
+			t.Errorf("utilization not increasing at batch %d: %g <= %g", b, u, prev)
+		}
+		if u > gpu.Config().UtilizationMax {
+			t.Errorf("utilization %g exceeds max", u)
+		}
+		prev = u
+	}
+}
+
+func TestPerImageLatencyMonotoneInBatch(t *testing.T) {
+	w := googWorkload(t)
+	cpu, _ := NewCPU(DefaultCPUConfig(), w, rng.New(0))
+	gpu, _ := NewGPU(DefaultGPUConfig(), w, rng.New(0))
+	for b := 1; b < 32; b++ {
+		c1 := cpu.BaseBatchDuration(b).Seconds() / float64(b)
+		c2 := cpu.BaseBatchDuration(b+1).Seconds() / float64(b+1)
+		if c2 > c1+1e-12 {
+			t.Errorf("CPU per-image latency increased from batch %d to %d", b, b+1)
+		}
+		g1 := gpu.BaseBatchDuration(b).Seconds() / float64(b)
+		g2 := gpu.BaseBatchDuration(b+1).Seconds() / float64(b+1)
+		if g2 > g1+1e-12 {
+			t.Errorf("GPU per-image latency increased from batch %d to %d", b, b+1)
+		}
+	}
+}
+
+func TestJitterAccountingAndDeterminism(t *testing.T) {
+	w := googWorkload(t)
+	a, _ := NewCPU(DefaultCPUConfig(), w, rng.New(7))
+	b, _ := NewCPU(DefaultCPUConfig(), w, rng.New(7))
+	var seq []time.Duration
+	for i := 0; i < 50; i++ {
+		seq = append(seq, a.NextBatchDuration(8))
+	}
+	for i := 0; i < 50; i++ {
+		if d := b.NextBatchDuration(8); d != seq[i] {
+			t.Fatalf("CPU jitter stream diverged at %d", i)
+		}
+	}
+	if a.Batches() != 50 || a.Images() != 400 {
+		t.Errorf("accounting: %d batches, %d images", a.Batches(), a.Images())
+	}
+	if a.Busy() <= 0 {
+		t.Error("busy time not accumulated")
+	}
+	if a.TDPWatts() != 80 {
+		t.Errorf("TDP = %g", a.TDPWatts())
+	}
+}
+
+func TestGPUJitterDeterminism(t *testing.T) {
+	w := googWorkload(t)
+	a, _ := NewGPU(DefaultGPUConfig(), w, rng.New(7))
+	b, _ := NewGPU(DefaultGPUConfig(), w, rng.New(7))
+	for i := 0; i < 20; i++ {
+		if a.NextBatchDuration(4) != b.NextBatchDuration(4) {
+			t.Fatal("GPU jitter stream diverged")
+		}
+	}
+	if a.Images() != 80 || a.TDPWatts() != 80 {
+		t.Error("GPU accounting wrong")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	w := googWorkload(t)
+	badCPU := DefaultCPUConfig()
+	badCPU.Efficiency = 0
+	if _, err := NewCPU(badCPU, w, rng.New(0)); err == nil {
+		t.Error("zero efficiency accepted")
+	}
+	badCPU = DefaultCPUConfig()
+	badCPU.Sockets = 0
+	if _, err := NewCPU(badCPU, w, rng.New(0)); err == nil {
+		t.Error("zero sockets accepted")
+	}
+	if _, err := NewCPU(DefaultCPUConfig(), Workload{}, rng.New(0)); err == nil {
+		t.Error("empty workload accepted")
+	}
+	badGPU := DefaultGPUConfig()
+	badGPU.UtilizationK = 0
+	if _, err := NewGPU(badGPU, w, rng.New(0)); err == nil {
+		t.Error("zero K accepted")
+	}
+	badGPU = DefaultGPUConfig()
+	badGPU.PCIeBandwidth = 0
+	if _, err := NewGPU(badGPU, w, rng.New(0)); err == nil {
+		t.Error("zero PCIe accepted")
+	}
+	if _, err := NewGPU(DefaultGPUConfig(), Workload{}, rng.New(0)); err == nil {
+		t.Error("empty workload accepted")
+	}
+}
+
+func TestBatchSizePanics(t *testing.T) {
+	w := googWorkload(t)
+	cpu, _ := NewCPU(DefaultCPUConfig(), w, rng.New(0))
+	gpu, _ := NewGPU(DefaultGPUConfig(), w, rng.New(0))
+	for _, f := range []func(){
+		func() { cpu.BaseBatchDuration(0) },
+		func() { gpu.BaseBatchDuration(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWorkloadOf(t *testing.T) {
+	w := googWorkload(t)
+	if w.MACs < 1_500_000_000 || w.MACs > 1_700_000_000 {
+		t.Errorf("MACs = %d", w.MACs)
+	}
+	if w.InputBytes != 3*224*224*4 {
+		t.Errorf("InputBytes = %d", w.InputBytes)
+	}
+}
+
+// TestCrossDeviceShape verifies the paper's §V headline: a single VPU
+// inference (~100 ms) is roughly 4x slower than CPU/GPU single-input
+// latency (~26 ms). The VPU side is asserted in internal/vpu; here we
+// pin the CPU/GPU side of the ratio.
+func TestSingleInputLatenciesNearEqual(t *testing.T) {
+	w := googWorkload(t)
+	cpu, _ := NewCPU(DefaultCPUConfig(), w, rng.New(0))
+	gpu, _ := NewGPU(DefaultGPUConfig(), w, rng.New(0))
+	c := cpu.BaseBatchDuration(1).Seconds()
+	g := gpu.BaseBatchDuration(1).Seconds()
+	if math.Abs(c-g)/c > 0.05 {
+		t.Errorf("CPU (%.1f ms) and GPU (%.1f ms) single-input latencies should nearly match (paper: 26.0 vs 25.9)",
+			c*1e3, g*1e3)
+	}
+}

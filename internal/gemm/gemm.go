@@ -1,0 +1,157 @@
+// Package gemm implements the blocked, goroutine-parallel single
+// precision matrix multiply that backs every convolution (via im2col)
+// and fully connected layer in the inference engine.
+//
+// The paper's CPU baseline is Caffe linked against Intel MKL; this
+// package is the stdlib-only stand-in. It is not competitive with MKL,
+// but it is cache-blocked, parallel and deterministic, which is what
+// the functional experiments (Fig. 7) need: the *timing* of each
+// device comes from the calibrated models in internal/devsim and
+// internal/vpu, never from wall-clock measurements of this kernel.
+package gemm
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Block sizes tuned for typical L1/L2 sizes; correctness does not
+// depend on them (tests sweep odd sizes around the boundaries).
+const (
+	blockM = 64
+	blockN = 64
+	blockK = 256
+)
+
+// Parallelism caps the number of worker goroutines. It defaults to
+// GOMAXPROCS and exists so tests and single-threaded experiments can
+// pin it.
+var parallelism = runtime.GOMAXPROCS(0)
+
+// SetParallelism sets the worker cap for subsequent calls and returns
+// the previous value. n < 1 resets to GOMAXPROCS.
+func SetParallelism(n int) int {
+	old := parallelism
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	parallelism = n
+	return old
+}
+
+// Mul computes C = A·B for row-major matrices: A is m×k, B is k×n and
+// C is m×n. C is fully overwritten. It panics when the slice lengths
+// do not match the stated dimensions.
+func Mul(c, a, b []float32, m, k, n int) {
+	if m < 0 || k < 0 || n < 0 {
+		panic("gemm: negative dimension")
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	if len(c) < m*n {
+		panic("gemm: buffer too small for stated dimensions")
+	}
+	clear(c[:m*n])
+	if k == 0 {
+		return
+	}
+	if len(a) < m*k || len(b) < k*n {
+		panic("gemm: buffer too small for stated dimensions")
+	}
+
+	// Parallelize over row blocks of C; each worker owns disjoint rows
+	// so no synchronization is needed inside the kernel.
+	nBlocks := (m + blockM - 1) / blockM
+	workers := parallelism
+	if workers > nBlocks {
+		workers = nBlocks
+	}
+	if workers <= 1 || m*n*k < 1<<15 {
+		mulRows(c, a, b, 0, m, k, n)
+		return
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int, nBlocks)
+	for i := 0; i < nBlocks; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for blk := range next {
+				i0 := blk * blockM
+				i1 := i0 + blockM
+				if i1 > m {
+					i1 = m
+				}
+				mulRows(c, a, b, i0, i1, k, n)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// mulRows computes rows [i0, i1) of C with k/n cache blocking.
+func mulRows(c, a, b []float32, i0, i1, k, n int) {
+	for kk := 0; kk < k; kk += blockK {
+		kMax := kk + blockK
+		if kMax > k {
+			kMax = k
+		}
+		for jj := 0; jj < n; jj += blockN {
+			jMax := jj + blockN
+			if jMax > n {
+				jMax = n
+			}
+			for i := i0; i < i1; i++ {
+				arow := a[i*k:]
+				crow := c[i*n:]
+				for kx := kk; kx < kMax; kx++ {
+					av := arow[kx]
+					if av == 0 {
+						continue
+					}
+					brow := b[kx*n:]
+					for j := jj; j < jMax; j++ {
+						crow[j] += av * brow[j]
+					}
+				}
+			}
+		}
+	}
+}
+
+// MulAddBias computes C = A·B then adds bias[j] to every element of
+// column j. This fuses the ubiquitous conv/FC bias step.
+func MulAddBias(c, a, b, bias []float32, m, k, n int) {
+	if len(bias) < n {
+		panic("gemm: bias shorter than n")
+	}
+	Mul(c, a, b, m, k, n)
+	for i := 0; i < m; i++ {
+		row := c[i*n : i*n+n]
+		for j := range row {
+			row[j] += bias[j]
+		}
+	}
+}
+
+// MatVec computes y = A·x for a row-major m×k matrix. It is the
+// degenerate n=1 GEMM used by fully connected layers at batch 1.
+func MatVec(y, a, x []float32, m, k int) {
+	if len(a) < m*k || len(x) < k || len(y) < m {
+		panic("gemm: MatVec buffer too small")
+	}
+	for i := 0; i < m; i++ {
+		row := a[i*k : i*k+k]
+		var acc float32
+		for j, v := range row {
+			acc += v * x[j]
+		}
+		y[i] = acc
+	}
+}

@@ -1,0 +1,281 @@
+package gemm
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// mulNaive is the reference implementation the blocked kernel is
+// checked against.
+func mulNaive(c, a, b []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc float64
+			for x := 0; x < k; x++ {
+				acc += float64(a[i*k+x]) * float64(b[x*n+j])
+			}
+			c[i*n+j] = float32(acc)
+		}
+	}
+}
+
+func randMat(src *rng.Source, n int) []float32 {
+	m := make([]float32, n)
+	for i := range m {
+		m[i] = src.NormFloat32()
+	}
+	return m
+}
+
+func maxDiff(a, b []float32) float64 {
+	var d float64
+	for i := range a {
+		v := math.Abs(float64(a[i]) - float64(b[i]))
+		if v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+func TestMulIdentity(t *testing.T) {
+	n := 7
+	id := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		id[i*n+i] = 1
+	}
+	a := randMat(rng.New(1), n*n)
+	c := make([]float32, n*n)
+	Mul(c, a, id, n, n, n)
+	if maxDiff(c, a) != 0 {
+		t.Error("A·I != A")
+	}
+	Mul(c, id, a, n, n, n)
+	if maxDiff(c, a) != 0 {
+		t.Error("I·A != A")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	// (1 2; 3 4) · (5 6; 7 8) = (19 22; 43 50)
+	a := []float32{1, 2, 3, 4}
+	b := []float32{5, 6, 7, 8}
+	c := make([]float32, 4)
+	Mul(c, a, b, 2, 2, 2)
+	want := []float32{19, 22, 43, 50}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("c = %v, want %v", c, want)
+		}
+	}
+}
+
+func TestMulRectangular(t *testing.T) {
+	src := rng.New(2)
+	for _, dims := range [][3]int{
+		{1, 1, 1}, {3, 5, 7}, {65, 67, 63}, {128, 256, 64}, {1, 300, 1},
+		{blockM + 1, blockK + 1, blockN + 1}, {2 * blockM, 10, 2 * blockN},
+	} {
+		m, k, n := dims[0], dims[1], dims[2]
+		t.Run(fmt.Sprintf("%dx%dx%d", m, k, n), func(t *testing.T) {
+			a := randMat(src, m*k)
+			b := randMat(src, k*n)
+			got := make([]float32, m*n)
+			want := make([]float32, m*n)
+			Mul(got, a, b, m, k, n)
+			mulNaive(want, a, b, m, k, n)
+			// Blocked accumulation reorders sums; allow small tolerance
+			// scaled by the reduction length.
+			tol := 1e-5 * math.Sqrt(float64(k))
+			if d := maxDiff(got, want); d > tol {
+				t.Errorf("max diff %g > %g", d, tol)
+			}
+		})
+	}
+}
+
+func TestMulOverwritesC(t *testing.T) {
+	a := []float32{1, 0, 0, 1}
+	c := []float32{99, 99, 99, 99}
+	Mul(c, a, a, 2, 2, 2)
+	want := []float32{1, 0, 0, 1}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("stale C contents leaked: %v", c)
+		}
+	}
+}
+
+func TestMulZeroDims(t *testing.T) {
+	// m==0 and n==0 are no-ops; k==0 zeroes C.
+	c := []float32{5, 5}
+	Mul(c, nil, nil, 0, 3, 2)
+	Mul(c, nil, nil, 1, 3, 0)
+	if c[0] != 5 {
+		t.Error("m/n==0 should not touch C")
+	}
+	Mul(c, nil, nil, 1, 0, 2)
+	if c[0] != 0 || c[1] != 0 {
+		t.Error("k==0 should zero C")
+	}
+}
+
+func TestMulPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Mul(make([]float32, 1), make([]float32, 1), make([]float32, 1), 2, 2, 2) },
+		func() { Mul(nil, nil, nil, -1, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	src := rng.New(3)
+	m, k, n := 200, 150, 170
+	a := randMat(src, m*k)
+	b := randMat(src, k*n)
+
+	serial := make([]float32, m*n)
+	old := SetParallelism(1)
+	Mul(serial, a, b, m, k, n)
+
+	parallel := make([]float32, m*n)
+	SetParallelism(8)
+	Mul(parallel, a, b, m, k, n)
+	SetParallelism(old)
+
+	// Identical blocking => identical FP order => identical bits.
+	if d := maxDiff(serial, parallel); d != 0 {
+		t.Errorf("parallel result differs from serial by %g; determinism requires bit equality", d)
+	}
+}
+
+func TestSetParallelism(t *testing.T) {
+	old := SetParallelism(4)
+	if got := SetParallelism(0); got != 4 {
+		t.Errorf("previous parallelism = %d, want 4", got)
+	}
+	SetParallelism(old)
+}
+
+func TestMulAddBias(t *testing.T) {
+	a := []float32{1, 0, 0, 1}
+	b := []float32{2, 3, 4, 5}
+	bias := []float32{10, 20}
+	c := make([]float32, 4)
+	MulAddBias(c, a, b, bias, 2, 2, 2)
+	want := []float32{12, 23, 14, 25}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("c = %v, want %v", c, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("short bias should panic")
+		}
+	}()
+	MulAddBias(c, a, b, bias[:1], 2, 2, 2)
+}
+
+func TestMatVec(t *testing.T) {
+	a := []float32{1, 2, 3, 4, 5, 6} // 2x3
+	x := []float32{1, 0, -1}
+	y := make([]float32, 2)
+	MatVec(y, a, x, 2, 3)
+	if y[0] != -2 || y[1] != -2 {
+		t.Errorf("y = %v, want [-2 -2]", y)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("short buffer should panic")
+		}
+	}()
+	MatVec(y[:1], a, x, 2, 3)
+}
+
+// Property: Mul agrees with the naive reference on random small shapes.
+func TestQuickMulMatchesNaive(t *testing.T) {
+	f := func(seed uint64, mr, kr, nr uint8) bool {
+		m := int(mr)%12 + 1
+		k := int(kr)%12 + 1
+		n := int(nr)%12 + 1
+		src := rng.New(seed)
+		a := randMat(src, m*k)
+		b := randMat(src, k*n)
+		got := make([]float32, m*n)
+		want := make([]float32, m*n)
+		Mul(got, a, b, m, k, n)
+		mulNaive(want, a, b, m, k, n)
+		return maxDiff(got, want) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Mul is linear in A — (αA)·B == α(A·B).
+func TestQuickMulLinearity(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		m, k, n := 5, 6, 4
+		a := randMat(src, m*k)
+		b := randMat(src, k*n)
+		c1 := make([]float32, m*n)
+		Mul(c1, a, b, m, k, n)
+		a2 := make([]float32, len(a))
+		for i := range a {
+			a2[i] = 2 * a[i]
+		}
+		c2 := make([]float32, m*n)
+		Mul(c2, a2, b, m, k, n)
+		for i := range c1 {
+			if math.Abs(float64(c2[i]-2*c1[i])) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMul256(b *testing.B) {
+	src := rng.New(1)
+	n := 256
+	x := randMat(src, n*n)
+	y := randMat(src, n*n)
+	c := make([]float32, n*n)
+	b.SetBytes(int64(2 * n * n * n * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(c, x, y, n, n, n)
+	}
+}
+
+func BenchmarkMulConvShape(b *testing.B) {
+	// The 3x3 conv reduction of GoogLeNet's conv2: 192x(64*9) times
+	// (64*9)x(56*56) — the canonical im2col GEMM shape.
+	src := rng.New(2)
+	m, k, n := 192, 576, 3136
+	x := randMat(src, m*k)
+	y := randMat(src, k*n)
+	c := make([]float32, m*n)
+	b.SetBytes(int64(2 * m * k * n * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(c, x, y, m, k, n)
+	}
+}

@@ -1,0 +1,91 @@
+package graphfile
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/nn"
+)
+
+// Compile serializes g into an NCS graph blob. Weights are converted
+// to binary16, mirroring the FP16 conversion mvNCCompile performs; the
+// source graph is not modified.
+//
+// The blob embeds the graph topology, all parameters, and a CRC-32
+// trailer. Parse(Compile(g)) yields a functionally identical network
+// whose weights are the FP16-rounded originals.
+func Compile(g *nn.Graph) ([]byte, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graphfile: refusing to compile invalid graph: %w", err)
+	}
+	var w writer
+	w.buf.WriteString(Magic)
+	w.u32(Version)
+	w.str(g.Name())
+	w.ints(g.InputShape())
+	w.str(g.Output())
+	total := g.TotalStats()
+	w.u64(uint64(total.MACs))
+	w.u64(uint64(total.Params))
+
+	names := g.LayerNames()
+	w.uvarint(uint64(len(names)))
+	for _, name := range names {
+		if err := writeLayer(&w, g, name); err != nil {
+			return nil, err
+		}
+	}
+
+	sum := crc32.ChecksumIEEE(w.buf.Bytes())
+	w.u32(sum)
+	return w.buf.Bytes(), nil
+}
+
+func writeLayer(w *writer, g *nn.Graph, name string) error {
+	l := g.Layer(name)
+	w.str(name)
+	w.strs(g.InputsOf(name))
+	switch t := l.(type) {
+	case *nn.Conv:
+		w.u8(kindConv)
+		w.ints([]int{t.InC, t.OutC, t.KH, t.KW, t.Stride, t.Pad})
+		w.fp16Blob(t.Weights.Data)
+		w.fp16Blob(t.Bias.Data)
+	case *nn.Pool:
+		w.u8(kindPool)
+		flags := 0
+		if t.PoolOp == nn.AvgPool {
+			flags |= 1
+		}
+		if t.CeilMode {
+			flags |= 2
+		}
+		if t.Global {
+			flags |= 4
+		}
+		w.ints([]int{t.K, t.Stride, t.Pad, flags})
+	case *nn.ReLU:
+		w.u8(kindReLU)
+	case *nn.LRN:
+		w.u8(kindLRN)
+		w.ints([]int{t.Size})
+		w.u32(f32bits(t.Alpha))
+		w.u32(f32bits(t.Beta))
+		w.u32(f32bits(t.K))
+	case *nn.Concat:
+		w.u8(kindConcat)
+	case *nn.Dropout:
+		w.u8(kindDropout)
+		w.u32(f32bits(t.Ratio))
+	case *nn.FullyConnected:
+		w.u8(kindFC)
+		w.ints([]int{t.InF, t.OutF})
+		w.fp16Blob(t.Weights.Data)
+		w.fp16Blob(t.Bias.Data)
+	case *nn.Softmax:
+		w.u8(kindSoftmax)
+	default:
+		return fmt.Errorf("graphfile: unsupported layer type %T (%s)", l, name)
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package graphfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Info summarizes a parsed blob's header without reconstructing the
+// network; the device runtime reports it after allocation.
+type Info struct {
+	Name       string
+	InputShape tensor.Shape
+	Output     string
+	MACs       int64
+	Params     int64
+	Layers     int
+	Bytes      int
+}
+
+// Parse reconstructs a network from a compiled blob, verifying the
+// magic, version, CRC trailer, and final graph integrity. The returned
+// graph's weights are FP16-exact (they round-tripped through binary16
+// during compilation).
+func Parse(blob []byte) (*nn.Graph, *Info, error) {
+	if len(blob) < len(Magic)+8 {
+		return nil, nil, fmt.Errorf("graphfile: blob too short (%d bytes)", len(blob))
+	}
+	if string(blob[:len(Magic)]) != Magic {
+		return nil, nil, fmt.Errorf("graphfile: bad magic %q", blob[:len(Magic)])
+	}
+	payload, trailer := blob[:len(blob)-4], blob[len(blob)-4:]
+	wantSum := binary.LittleEndian.Uint32(trailer)
+	if got := crc32.ChecksumIEEE(payload); got != wantSum {
+		return nil, nil, fmt.Errorf("graphfile: checksum mismatch (blob corrupted in transfer)")
+	}
+
+	r := &reader{r: bytes.NewReader(payload[len(Magic):])}
+	if v := r.u32(); v != Version {
+		return nil, nil, fmt.Errorf("graphfile: unsupported version %d (want %d)", v, Version)
+	}
+
+	info := &Info{Bytes: len(blob)}
+	info.Name = r.str()
+	info.InputShape = tensor.Shape(r.ints())
+	info.Output = r.str()
+	info.MACs = int64(r.u64())
+	info.Params = int64(r.u64())
+	nLayers := r.length("layer count")
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	if !info.InputShape.Valid() {
+		return nil, nil, fmt.Errorf("graphfile: invalid input shape %v", info.InputShape)
+	}
+	info.Layers = nLayers
+
+	g := nn.NewGraph(info.Name, info.InputShape)
+	for i := 0; i < nLayers; i++ {
+		name := r.str()
+		inputs := r.strs()
+		layer, err := readLayer(r, name)
+		if r.err != nil {
+			return nil, nil, r.err
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := g.Add(layer, inputs...); err != nil {
+			return nil, nil, fmt.Errorf("graphfile: blob layer %d: %w", i, err)
+		}
+	}
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	if r.r.Len() != 0 {
+		return nil, nil, fmt.Errorf("graphfile: %d trailing bytes after last layer", r.r.Len())
+	}
+	if err := g.SetOutput(info.Output); err != nil {
+		return nil, nil, fmt.Errorf("graphfile: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("graphfile: parsed graph invalid: %w", err)
+	}
+	return g, info, nil
+}
+
+func readLayer(r *reader, name string) (nn.Layer, error) {
+	kind := r.u8()
+	switch kind {
+	case kindConv:
+		dims := r.ints()
+		if len(dims) != 6 {
+			return nil, fmt.Errorf("graphfile: conv %q has %d params, want 6", name, len(dims))
+		}
+		inC, outC, kh, kw, stride, pad := dims[0], dims[1], dims[2], dims[3], dims[4], dims[5]
+		weights := r.fp16Blob()
+		bias := r.fp16Blob()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if inC <= 0 || outC <= 0 || kh <= 0 || kw <= 0 || stride <= 0 || pad < 0 {
+			return nil, fmt.Errorf("graphfile: conv %q has invalid geometry %v", name, dims)
+		}
+		if len(weights) != outC*inC*kh*kw || len(bias) != outC {
+			return nil, fmt.Errorf("graphfile: conv %q weight sizes inconsistent", name)
+		}
+		return &nn.Conv{
+			LayerName: name,
+			InC:       inC, OutC: outC, KH: kh, KW: kw, Stride: stride, Pad: pad,
+			Weights: tensor.FromSlice(weights, outC, inC, kh, kw),
+			Bias:    tensor.FromSlice(bias, outC),
+		}, nil
+	case kindPool:
+		dims := r.ints()
+		if len(dims) != 4 {
+			return nil, fmt.Errorf("graphfile: pool %q has %d params, want 4", name, len(dims))
+		}
+		flags := dims[3]
+		op := nn.MaxPool
+		if flags&1 != 0 {
+			op = nn.AvgPool
+		}
+		if flags&4 == 0 && (dims[0] <= 0 || dims[1] <= 0) {
+			return nil, fmt.Errorf("graphfile: pool %q has invalid geometry %v", name, dims)
+		}
+		return &nn.Pool{
+			LayerName: name, PoolOp: op,
+			K: dims[0], Stride: dims[1], Pad: dims[2],
+			CeilMode: flags&2 != 0, Global: flags&4 != 0,
+		}, nil
+	case kindReLU:
+		return &nn.ReLU{LayerName: name}, nil
+	case kindLRN:
+		dims := r.ints()
+		if len(dims) != 1 {
+			return nil, fmt.Errorf("graphfile: lrn %q malformed", name)
+		}
+		return &nn.LRN{
+			LayerName: name, Size: dims[0],
+			Alpha: f32frombits(r.u32()), Beta: f32frombits(r.u32()), K: f32frombits(r.u32()),
+		}, nil
+	case kindConcat:
+		return &nn.Concat{LayerName: name}, nil
+	case kindDropout:
+		return &nn.Dropout{LayerName: name, Ratio: f32frombits(r.u32())}, nil
+	case kindFC:
+		dims := r.ints()
+		if len(dims) != 2 {
+			return nil, fmt.Errorf("graphfile: fc %q malformed", name)
+		}
+		inF, outF := dims[0], dims[1]
+		weights := r.fp16Blob()
+		bias := r.fp16Blob()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if inF <= 0 || outF <= 0 {
+			return nil, fmt.Errorf("graphfile: fc %q has invalid geometry %v", name, dims)
+		}
+		if len(weights) != inF*outF || len(bias) != outF {
+			return nil, fmt.Errorf("graphfile: fc %q weight sizes inconsistent", name)
+		}
+		return &nn.FullyConnected{
+			LayerName: name, InF: inF, OutF: outF,
+			Weights: tensor.FromSlice(weights, outF, inF),
+			Bias:    tensor.FromSlice(bias, outF),
+		}, nil
+	case kindSoftmax:
+		return &nn.Softmax{LayerName: name}, nil
+	default:
+		return nil, fmt.Errorf("graphfile: unknown layer kind %d (%q)", kind, name)
+	}
+}
+
+func f32bits(f float32) uint32     { return math.Float32bits(f) }
+func f32frombits(b uint32) float32 { return math.Float32frombits(b) }

@@ -1,0 +1,154 @@
+package half
+
+import (
+	"math"
+	"strconv"
+)
+
+// The arithmetic helpers below emulate an FP16 datapath by computing in
+// float32 and rounding the result back to half. For Add, Sub and Mul
+// the float32 intermediate is exact (two 11-bit significands fit in a
+// 24-bit one), so the single rounding step yields the correctly rounded
+// binary16 result — the same answer a hardware FP16 unit produces.
+
+// Add returns a+b rounded to the nearest half.
+func Add(a, b Float16) Float16 { return FromFloat32(a.Float32() + b.Float32()) }
+
+// Sub returns a-b rounded to the nearest half.
+func Sub(a, b Float16) Float16 { return FromFloat32(a.Float32() - b.Float32()) }
+
+// Mul returns a*b rounded to the nearest half.
+func Mul(a, b Float16) Float16 { return FromFloat32(a.Float32() * b.Float32()) }
+
+// Div returns a/b rounded to the nearest half. The float32 quotient is
+// not always exact, so in rare cases the result may differ from a
+// correctly rounded binary16 division by one ULP; the inference engine
+// only divides by powers of two (pooling) where the result is exact.
+func Div(a, b Float16) Float16 { return FromFloat32(a.Float32() / b.Float32()) }
+
+// FMA returns a*b+c rounded to the nearest half. The product is exact
+// in float32; the addition uses float64 so the single final rounding to
+// half is correct for all finite inputs.
+func FMA(a, b, c Float16) Float16 {
+	p := float64(a.Float32()) * float64(b.Float32())
+	return FromFloat64(p + float64(c.Float32()))
+}
+
+// Sqrt returns the square root of h rounded to the nearest half.
+func Sqrt(h Float16) Float16 {
+	return FromFloat64(math.Sqrt(h.Float64()))
+}
+
+// Exp returns e**h rounded to the nearest half.
+func Exp(h Float16) Float16 {
+	return FromFloat64(math.Exp(h.Float64()))
+}
+
+// Max returns the larger of a and b. If either is NaN the other is
+// returned, matching IEEE 754 maxNum semantics.
+func Max(a, b Float16) Float16 {
+	switch {
+	case a.IsNaN():
+		return b
+	case b.IsNaN():
+		return a
+	case a.Float32() >= b.Float32():
+		return a
+	default:
+		return b
+	}
+}
+
+// Min returns the smaller of a and b with maxNum-style NaN handling.
+func Min(a, b Float16) Float16 {
+	switch {
+	case a.IsNaN():
+		return b
+	case b.IsNaN():
+		return a
+	case a.Float32() <= b.Float32():
+		return a
+	default:
+		return b
+	}
+}
+
+// Less reports a < b under the usual total order on the extended reals.
+// Any comparison involving NaN is false.
+func Less(a, b Float16) bool {
+	if a.IsNaN() || b.IsNaN() {
+		return false
+	}
+	return a.Float32() < b.Float32()
+}
+
+// Equal reports numeric equality (so +0 == -0, NaN != NaN).
+func Equal(a, b Float16) bool {
+	if a.IsNaN() || b.IsNaN() {
+		return false
+	}
+	return a.Float32() == b.Float32()
+}
+
+// ULPDistance returns the number of representable halves between a and
+// b (0 when bit-identical up to signed-zero equivalence). It is the
+// standard "units in the last place" metric over the monotone integer
+// mapping of the binary16 encoding. The result is undefined for NaNs.
+func ULPDistance(a, b Float16) int {
+	ia, ib := ordinal(a), ordinal(b)
+	if ia > ib {
+		return int(ia - ib)
+	}
+	return int(ib - ia)
+}
+
+// ordinal maps the half encoding onto a monotone signed integer line so
+// that consecutive representable values differ by exactly 1.
+func ordinal(h Float16) int32 {
+	v := int32(h & 0x7FFF)
+	if h&signMask != 0 {
+		return -v
+	}
+	return v
+}
+
+// NextUp returns the smallest half greater than h.
+// NextUp(+Inf) = +Inf, NextUp(NaN) = NaN.
+func NextUp(h Float16) Float16 {
+	switch {
+	case h.IsNaN() || h == PositiveInfinity:
+		return h
+	case h == NegativeZero || h == PositiveZero:
+		return MinSubnormal
+	case h.Signbit():
+		return h - 1
+	default:
+		return h + 1
+	}
+}
+
+// NextDown returns the largest half smaller than h.
+func NextDown(h Float16) Float16 {
+	switch {
+	case h.IsNaN() || h == NegativeInfinity:
+		return h
+	case h == PositiveZero || h == NegativeZero:
+		return MinSubnormal | signMask
+	case h.Signbit():
+		return h + 1
+	default:
+		return h - 1
+	}
+}
+
+func formatFloat(h Float16) string {
+	switch {
+	case h.IsNaN():
+		return "NaN"
+	case h == PositiveInfinity:
+		return "+Inf"
+	case h == NegativeInfinity:
+		return "-Inf"
+	}
+	return strconv.FormatFloat(h.Float64(), 'g', -1, 32)
+}

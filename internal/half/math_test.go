@@ -1,0 +1,219 @@
+package half
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestArithmeticBasics(t *testing.T) {
+	one, two, three := FromFloat32(1), FromFloat32(2), FromFloat32(3)
+	if Add(one, two) != three {
+		t.Error("1+2 != 3")
+	}
+	if Sub(three, two) != one {
+		t.Error("3-2 != 1")
+	}
+	if Mul(two, three) != FromFloat32(6) {
+		t.Error("2*3 != 6")
+	}
+	if Div(three, two) != FromFloat32(1.5) {
+		t.Error("3/2 != 1.5")
+	}
+	if FMA(two, three, one) != FromFloat32(7) {
+		t.Error("2*3+1 != 7")
+	}
+	if Sqrt(FromFloat32(9)) != three {
+		t.Error("sqrt(9) != 3")
+	}
+	if Exp(PositiveZero) != one {
+		t.Error("exp(0) != 1")
+	}
+}
+
+func TestAddIsCorrectlyRounded(t *testing.T) {
+	// 2048 + 1 in half: 1 is below half a ULP of 2048 (ULP = 2), so the
+	// sum must stay 2048 under round-to-nearest-even.
+	big := FromFloat32(2048)
+	if got := Add(big, FromFloat32(1)); got != big {
+		t.Errorf("2048+1 = %v, want 2048 (sticky rounding)", got)
+	}
+	// 2048 + 3 must round to 2052? ULP at 2048 is 2, 2051 is halfway
+	// between 2050 and 2052 — representables are 2048, 2050, 2052; 2051
+	// ties between 2050 (odd mantissa) and 2052 (even). Check evenness.
+	got := Add(big, FromFloat32(3))
+	if got.Float32() != 2052 {
+		t.Errorf("2048+3 = %v, want 2052 (tie to even)", got)
+	}
+}
+
+func TestSaturationToInfinity(t *testing.T) {
+	if got := Add(MaxValue, MaxValue); got != PositiveInfinity {
+		t.Errorf("max+max = %v, want +Inf", got)
+	}
+	if got := Mul(FromFloat32(300), FromFloat32(300)); got != PositiveInfinity {
+		t.Errorf("300*300 = %v, want +Inf (overflow is what makes FP16 inference delicate)", got)
+	}
+}
+
+func TestMaxMinNaNHandling(t *testing.T) {
+	one := FromFloat32(1)
+	if Max(QuietNaN, one) != one || Max(one, QuietNaN) != one {
+		t.Error("Max should ignore NaN operands")
+	}
+	if Min(QuietNaN, one) != one || Min(one, QuietNaN) != one {
+		t.Error("Min should ignore NaN operands")
+	}
+	if Max(FromFloat32(2), one).Float32() != 2 {
+		t.Error("Max(2,1) != 2")
+	}
+	if Min(FromFloat32(2), one) != one {
+		t.Error("Min(2,1) != 1")
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	if !Less(FromFloat32(1), FromFloat32(2)) {
+		t.Error("1 < 2 failed")
+	}
+	if Less(QuietNaN, FromFloat32(1)) || Less(FromFloat32(1), QuietNaN) {
+		t.Error("NaN comparisons must be false")
+	}
+	if !Equal(PositiveZero, NegativeZero) {
+		t.Error("+0 must equal -0 numerically")
+	}
+	if Equal(QuietNaN, QuietNaN) {
+		t.Error("NaN must not equal NaN")
+	}
+}
+
+func TestULPDistance(t *testing.T) {
+	if d := ULPDistance(FromFloat32(1), FromFloat32(1)); d != 0 {
+		t.Errorf("ULP(1,1) = %d", d)
+	}
+	if d := ULPDistance(FromFloat32(1), NextUp(FromFloat32(1))); d != 1 {
+		t.Errorf("ULP(1,nextup 1) = %d, want 1", d)
+	}
+	if d := ULPDistance(MinSubnormal, MinSubnormal.Neg()); d != 2 {
+		t.Errorf("ULP(min,-min) = %d, want 2 (crosses zero)", d)
+	}
+	if d := ULPDistance(PositiveZero, NegativeZero); d != 0 {
+		t.Errorf("ULP(+0,-0) = %d, want 0", d)
+	}
+}
+
+func TestNextUpDown(t *testing.T) {
+	if NextUp(PositiveZero) != MinSubnormal {
+		t.Error("NextUp(+0) wrong")
+	}
+	if NextDown(PositiveZero) != MinSubnormal.Neg() {
+		t.Error("NextDown(+0) wrong")
+	}
+	if NextUp(MaxValue) != PositiveInfinity {
+		t.Error("NextUp(max) wrong")
+	}
+	if NextUp(PositiveInfinity) != PositiveInfinity {
+		t.Error("NextUp(+Inf) should saturate")
+	}
+	if NextDown(NegativeInfinity) != NegativeInfinity {
+		t.Error("NextDown(-Inf) should saturate")
+	}
+	if !NextUp(QuietNaN).IsNaN() {
+		t.Error("NextUp(NaN) should stay NaN")
+	}
+	// NextUp on a negative number moves toward zero.
+	if NextUp(FromFloat32(-1)).Float32() >= -0.9990 || NextUp(FromFloat32(-1)).Float32() <= -1 {
+		t.Errorf("NextUp(-1) = %v", NextUp(FromFloat32(-1)))
+	}
+}
+
+// Property: conversion round trip h -> f32 -> h is the identity for
+// every non-NaN half. (Exhaustive variant lives in half_test.go; the
+// quick version exercises the generator plumbing.)
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(b uint16) bool {
+		h := FromBits(b)
+		if h.IsNaN() {
+			return FromFloat32(h.Float32()).IsNaN()
+		}
+		return FromFloat32(h.Float32()) == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FromFloat32 is monotone — a <= b implies half(a) <= half(b).
+func TestQuickMonotoneConversion(t *testing.T) {
+	f := func(a, b float32) bool {
+		if math.IsNaN(float64(a)) || math.IsNaN(float64(b)) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return !Less(FromFloat32(b), FromFloat32(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rounding error is bounded by half a ULP for in-range values.
+func TestQuickRoundingErrorBound(t *testing.T) {
+	f := func(a float32) bool {
+		if math.IsNaN(float64(a)) || math.IsInf(float64(a), 0) {
+			return true
+		}
+		if a > 65504 || a < -65504 {
+			return true // out of half range, saturates
+		}
+		h := FromFloat32(a)
+		lo, hi := NextDown(h).Float32(), NextUp(h).Float32()
+		// The rounded value must be at least as close as the neighbors.
+		d := math.Abs(float64(h.Float32()) - float64(a))
+		return d <= math.Abs(float64(lo)-float64(a)) && d <= math.Abs(float64(hi)-float64(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add is commutative and Mul distributes sign correctly.
+func TestQuickArithmeticLaws(t *testing.T) {
+	comm := func(a, b uint16) bool {
+		x, y := FromBits(a), FromBits(b)
+		if x.IsNaN() || y.IsNaN() {
+			return true
+		}
+		return Add(x, y) == Add(y, x) || Add(x, y).IsNaN()
+	}
+	if err := quick.Check(comm, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Errorf("Add not commutative: %v", err)
+	}
+	sign := func(a, b uint16) bool {
+		x, y := FromBits(a), FromBits(b)
+		if x.IsNaN() || y.IsNaN() || x.IsZero() || y.IsZero() {
+			return true
+		}
+		p := Mul(x, y)
+		if p.IsNaN() {
+			return true
+		}
+		return p.Signbit() == (x.Signbit() != y.Signbit())
+	}
+	if err := quick.Check(sign, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Errorf("Mul sign law violated: %v", err)
+	}
+}
+
+// Property: Neg is an involution and flips Signbit.
+func TestQuickNeg(t *testing.T) {
+	f := func(b uint16) bool {
+		h := FromBits(b)
+		return h.Neg().Neg() == h && h.Neg().Signbit() != h.Signbit()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

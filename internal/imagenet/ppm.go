@@ -1,0 +1,171 @@
+package imagenet
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// PPM codec (binary P6). The paper's NCSw decodes JPEGs with OpenCV
+// and explicitly excludes decoding time from its measurements; the
+// file-based source here uses PPM so the I/O path (read file → decode
+// → CHW tensor → preprocess) is exercised end to end with a format
+// implementable from scratch.
+
+// EncodePPM renders a 3-channel CHW tensor with values in [0,255]
+// into a binary PPM (P6) image.
+func EncodePPM(img *tensor.T) ([]byte, error) {
+	if img.Rank() != 3 || img.Dim(0) != 3 {
+		return nil, fmt.Errorf("imagenet: EncodePPM wants (3,H,W), got %v", img.ShapeOf)
+	}
+	h, w := img.Dim(1), img.Dim(2)
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "P6\n%d %d\n255\n", w, h)
+	plane := h * w
+	for i := 0; i < plane; i++ {
+		for c := 0; c < 3; c++ {
+			v := img.Data[c*plane+i]
+			if v < 0 {
+				v = 0
+			} else if v > 255 {
+				v = 255
+			}
+			buf.WriteByte(byte(v + 0.5)) // round to nearest
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePPM parses a binary PPM (P6) image into a (3,H,W) tensor with
+// values in [0,255].
+func DecodePPM(data []byte) (*tensor.T, error) {
+	r := bytes.NewReader(data)
+	var magic string
+	if _, err := fmt.Fscan(r, &magic); err != nil || magic != "P6" {
+		return nil, fmt.Errorf("imagenet: not a P6 PPM")
+	}
+	w, err := readPPMInt(r)
+	if err != nil {
+		return nil, err
+	}
+	h, err := readPPMInt(r)
+	if err != nil {
+		return nil, err
+	}
+	maxv, err := readPPMInt(r)
+	if err != nil {
+		return nil, err
+	}
+	if w <= 0 || h <= 0 || w > 1<<14 || h > 1<<14 {
+		return nil, fmt.Errorf("imagenet: implausible PPM size %dx%d", w, h)
+	}
+	if maxv != 255 {
+		return nil, fmt.Errorf("imagenet: unsupported max value %d", maxv)
+	}
+	// Exactly one whitespace byte separates the header from pixels.
+	if _, err := r.ReadByte(); err != nil {
+		return nil, fmt.Errorf("imagenet: truncated PPM header")
+	}
+	plane := w * h
+	need := 3 * plane
+	pix := make([]byte, need)
+	if n, _ := r.Read(pix); n != need {
+		return nil, fmt.Errorf("imagenet: PPM pixel data truncated (%d of %d bytes)", n, need)
+	}
+	img := tensor.New(3, h, w)
+	for i := 0; i < plane; i++ {
+		for c := 0; c < 3; c++ {
+			img.Data[c*plane+i] = float32(pix[i*3+c])
+		}
+	}
+	return img, nil
+}
+
+// readPPMInt scans one whitespace-delimited integer, skipping PPM
+// comments.
+func readPPMInt(r *bytes.Reader) (int, error) {
+	// Skip whitespace and comment lines.
+	for {
+		b, err := r.ReadByte()
+		if err != nil {
+			return 0, fmt.Errorf("imagenet: truncated PPM header")
+		}
+		switch {
+		case b == '#':
+			for {
+				c, err := r.ReadByte()
+				if err != nil {
+					return 0, fmt.Errorf("imagenet: truncated PPM comment")
+				}
+				if c == '\n' {
+					break
+				}
+			}
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			// keep skipping
+		default:
+			if err := r.UnreadByte(); err != nil {
+				return 0, err
+			}
+			var v int
+			if _, err := fmt.Fscan(r, &v); err != nil {
+				return 0, fmt.Errorf("imagenet: bad PPM integer: %w", err)
+			}
+			return v, nil
+		}
+	}
+}
+
+// Resize bilinearly resamples a CHW tensor to (c, newH, newW). It is
+// the geometry-adaptation step a file-based source applies when image
+// files do not match the network input (OpenCV's resize in NCSw).
+func Resize(img *tensor.T, newH, newW int) *tensor.T {
+	if img.Rank() != 3 {
+		panic(fmt.Sprintf("imagenet: Resize wants CHW, got %v", img.ShapeOf))
+	}
+	if newH <= 0 || newW <= 0 {
+		panic(fmt.Sprintf("imagenet: Resize to %dx%d", newH, newW))
+	}
+	c, h, w := img.Dim(0), img.Dim(1), img.Dim(2)
+	if h == newH && w == newW {
+		return img.Clone()
+	}
+	out := tensor.New(c, newH, newW)
+	scaleY := float64(h) / float64(newH)
+	scaleX := float64(w) / float64(newW)
+	for ch := 0; ch < c; ch++ {
+		src := img.Data[ch*h*w:]
+		dst := out.Data[ch*newH*newW:]
+		for y := 0; y < newH; y++ {
+			fy := (float64(y)+0.5)*scaleY - 0.5
+			y0 := int(fy)
+			if fy < 0 {
+				y0 = 0
+				fy = 0
+			}
+			y1 := y0 + 1
+			if y1 >= h {
+				y1 = h - 1
+			}
+			wy := float32(fy - float64(y0))
+			for x := 0; x < newW; x++ {
+				fx := (float64(x)+0.5)*scaleX - 0.5
+				x0 := int(fx)
+				if fx < 0 {
+					x0 = 0
+					fx = 0
+				}
+				x1 := x0 + 1
+				if x1 >= w {
+					x1 = w - 1
+				}
+				wx := float32(fx - float64(x0))
+				top := src[y0*w+x0]*(1-wx) + src[y0*w+x1]*wx
+				bot := src[y1*w+x0]*(1-wx) + src[y1*w+x1]*wx
+				dst[y*newW+x] = top*(1-wy) + bot*wy
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package imagenet
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Synset is one WordNet-style category record, as ImageNet publishes
+// them: an n-prefixed WordNet ID plus a human-readable gloss.
+type Synset struct {
+	WNID string // e.g. "n02084071"
+	Name string // e.g. "brindled crested dog"
+}
+
+// Word lists for deterministic gloss generation. The combinations are
+// synthetic but shaped like ILSVRC-1000 glosses.
+var (
+	synsetAdjectives = []string{
+		"brindled", "crested", "spotted", "lesser", "greater", "common",
+		"striped", "dwarf", "giant", "northern", "southern", "horned",
+		"ringed", "masked", "golden", "silver", "mottled", "banded",
+		"tufted", "plumed", "speckled", "slender", "stout", "painted",
+	}
+	synsetNouns = []string{
+		"dog", "cat", "shark", "terrier", "retriever", "warbler", "finch",
+		"beetle", "crane", "kite", "lizard", "salamander", "monkey",
+		"antelope", "fox", "owl", "heron", "tortoise", "viper", "whale",
+		"ferry", "teapot", "abacus", "accordion", "balloon", "banjo",
+		"barrel", "bassoon", "beacon", "bobsled", "buckle", "cannon",
+	}
+)
+
+// Synsets generates n deterministic synset records. WNIDs are unique
+// by construction; glosses combine the word lists and may repeat only
+// after len(adjectives)*len(nouns) entries (768 > the default 100).
+func Synsets(n int, src *rng.Source) []Synset {
+	if n < 0 {
+		panic(fmt.Sprintf("imagenet: %d synsets", n))
+	}
+	perm := src.Perm(len(synsetAdjectives) * len(synsetNouns))
+	out := make([]Synset, n)
+	for i := range out {
+		combo := perm[i%len(perm)]
+		adj := synsetAdjectives[combo%len(synsetAdjectives)]
+		noun := synsetNouns[combo/len(synsetAdjectives)]
+		out[i] = Synset{
+			// Offset into a plausible WordNet-ID range; sequential and
+			// collision-free.
+			WNID: fmt.Sprintf("n%08d", 1000000+i*977),
+			Name: adj + " " + noun,
+		}
+	}
+	return out
+}

@@ -1,0 +1,375 @@
+// Package ncs models the Intel Neural Compute Stick: the USB-attached
+// SoC that wraps a Myriad 2 VPU with two RISC management cores running
+// a real-time OS, a firmware boot step, and an inference FIFO (§II-B
+// of the paper, Fig. 2).
+//
+// Its API deliberately mirrors the Neural Compute API (NCAPI 1.x) that
+// the paper's NCSw framework is built on, including the semantics of
+// Listing 1: LoadTensor transfers an input and queues execution
+// without waiting for the inference, and GetResult blocks the host
+// process until the result for the oldest queued inference is ready —
+// the split that makes computation/communication overlap (and thus the
+// multi-VPU pipeline of Fig. 4) possible.
+//
+// Everything here runs in virtual time on internal/sim; functional
+// (numeric) inference is optional per graph.
+package ncs
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/graphfile"
+	"repro/internal/power"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+	"repro/internal/usb"
+	"repro/internal/vpu"
+)
+
+// Status errors mirror the mvncStatus codes of the NCSDK.
+var (
+	// ErrDeviceNotOpen is returned for operations before Open.
+	ErrDeviceNotOpen = errors.New("ncs: device not open (MVNC_DEVICE_NOT_OPEN)")
+	// ErrAlreadyOpen is returned for a second Open.
+	ErrAlreadyOpen = errors.New("ncs: device already open (MVNC_BUSY)")
+	// ErrGraphAllocated is returned when allocating a second graph.
+	ErrGraphAllocated = errors.New("ncs: a graph is already allocated (MVNC_BUSY)")
+	// ErrNoGraph is returned by inference calls before AllocateGraph.
+	ErrNoGraph = errors.New("ncs: no graph allocated (MVNC_UNSUPPORTED_GRAPH_FILE)")
+	// ErrClosed is returned for operations after Close.
+	ErrClosed = errors.New("ncs: device closed (MVNC_GONE)")
+	// ErrMissingInput is returned when a functional graph is fed a nil
+	// tensor.
+	ErrMissingInput = errors.New("ncs: functional graph requires an input tensor")
+)
+
+// Config models the stick around the VPU.
+type Config struct {
+	// FIFODepth is the number of queued inferences the device accepts
+	// before LoadTensor blocks (the NCSDK allowed two in flight,
+	// enabling double buffering).
+	FIFODepth int
+	// FirmwareBytes is the firmware image pushed at Open ("when the
+	// NCAPI initializes and opens a device, a firmware is loaded onto
+	// the NCS").
+	FirmwareBytes int
+	// BootTime is the RTOS boot after firmware load.
+	BootTime time.Duration
+	// AllocParseBandwidth is the on-device rate for validating and
+	// unpacking the graph blob into LPDDR3 (bytes/s).
+	AllocParseBandwidth float64
+	// CommandOverhead is the RISC runtime cost to dequeue a job and
+	// launch it on the SHAVE array.
+	CommandOverhead time.Duration
+	// ResultHeaderBytes pads every result transfer (status + metadata).
+	ResultHeaderBytes int
+
+	// Stick-level power states (the chip's own draw is inside
+	// vpu.Config; these cover RISC cores, DDR and the USB PHY).
+	IdleWatts   float64
+	BootWatts   float64
+	ActiveWatts float64
+
+	// Thermal models the stick's temperature and the firmware's
+	// throttling thresholds (see thermal.go).
+	Thermal ThermalConfig
+}
+
+// DefaultConfig returns the calibrated NCS model: with the default VPU
+// and USB configs, a single-stick GoogLeNet round trip costs ≈100.7 ms,
+// the paper's measured value.
+func DefaultConfig() Config {
+	return Config{
+		FIFODepth:           2,
+		FirmwareBytes:       1800 << 10,
+		BootTime:            850 * time.Millisecond,
+		AllocParseBandwidth: 400e6,
+		CommandOverhead:     300 * time.Microsecond,
+		ResultHeaderBytes:   128,
+		IdleWatts:           0.70,
+		BootWatts:           1.50,
+		ActiveWatts:         2.50,
+		Thermal:             DefaultThermalConfig(),
+	}
+}
+
+func (c Config) validate() error {
+	if c.FIFODepth < 1 {
+		return fmt.Errorf("ncs: FIFO depth %d", c.FIFODepth)
+	}
+	if c.FirmwareBytes < 0 || c.BootTime < 0 || c.CommandOverhead < 0 || c.ResultHeaderBytes < 0 {
+		return fmt.Errorf("ncs: negative size or duration in %+v", c)
+	}
+	if c.AllocParseBandwidth <= 0 {
+		return fmt.Errorf("ncs: non-positive parse bandwidth")
+	}
+	if c.IdleWatts < 0 || c.BootWatts < c.IdleWatts || c.ActiveWatts < c.IdleWatts {
+		return fmt.Errorf("ncs: implausible power states %+v", c)
+	}
+	if !c.Thermal.validate() {
+		return fmt.Errorf("ncs: implausible thermal model %+v", c.Thermal)
+	}
+	return nil
+}
+
+type deviceState int
+
+const (
+	stateClosed deviceState = iota
+	stateOpen
+	stateGone
+)
+
+// Device is one simulated Neural Compute Stick.
+type Device struct {
+	name    string
+	env     *sim.Env
+	port    *usb.Port
+	cfg     Config
+	state   deviceState
+	graph   *Graph
+	meter   *power.Meter
+	seed    *rng.Source
+	thermal *thermalState
+	// onExec observes each on-device execution span (for Fig. 4
+	// timelines); nil disables.
+	onExec func(device string, start, end time.Duration)
+}
+
+// SetExecObserver registers a callback invoked with the virtual-time
+// span of every inference executed on the SHAVE array.
+func (d *Device) SetExecObserver(fn func(device string, start, end time.Duration)) {
+	d.onExec = fn
+}
+
+// NewDevice creates a closed device attached to the given USB port.
+func NewDevice(env *sim.Env, name string, port *usb.Port, cfg Config, seed *rng.Source) (*Device, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if port == nil {
+		return nil, fmt.Errorf("ncs: device %q has no USB port", name)
+	}
+	return &Device{
+		name:    name,
+		env:     env,
+		port:    port,
+		cfg:     cfg,
+		meter:   power.NewMeter(name, cfg.IdleWatts),
+		seed:    seed.Derive("ncs/" + name),
+		thermal: newThermalState(cfg.Thermal, cfg.IdleWatts),
+	}, nil
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.name }
+
+// Meter exposes the stick's power meter.
+func (d *Device) Meter() *power.Meter { return d.meter }
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Open pushes the firmware over USB and boots the RTOS (the NCAPI's
+// mvncOpenDevice). It must be called from a simulated process.
+func (d *Device) Open(p *sim.Proc) error {
+	switch d.state {
+	case stateOpen:
+		return ErrAlreadyOpen
+	case stateGone:
+		return ErrClosed
+	}
+	d.meter.SetPower(p.Now(), d.cfg.BootWatts)
+	d.port.Transfer(p, d.cfg.FirmwareBytes)
+	p.Sleep(d.cfg.BootTime)
+	d.meter.SetPower(p.Now(), d.cfg.IdleWatts)
+	d.state = stateOpen
+	return nil
+}
+
+// GraphOptions configures AllocateGraph.
+type GraphOptions struct {
+	// VPU overrides the chip model (zero value = vpu.DefaultConfig()).
+	VPU *vpu.Config
+	// Functional enables numeric FP16 inference; LoadTensor then
+	// requires real input tensors and results carry confidence
+	// vectors.
+	Functional bool
+}
+
+// AllocateGraph ships a compiled blob to the device, which parses and
+// validates it (rejecting corrupted blobs exactly like the firmware
+// does) and readies the VPU engine (mvncAllocateGraph).
+func (d *Device) AllocateGraph(p *sim.Proc, blob []byte, opts GraphOptions) (*Graph, error) {
+	if d.state == stateClosed {
+		return nil, ErrDeviceNotOpen
+	}
+	if d.state == stateGone {
+		return nil, ErrClosed
+	}
+	if d.graph != nil {
+		return nil, ErrGraphAllocated
+	}
+
+	d.port.Transfer(p, len(blob))
+	p.Sleep(time.Duration(float64(len(blob)) / d.cfg.AllocParseBandwidth * float64(time.Second)))
+	net, info, err := graphfile.Parse(blob)
+	if err != nil {
+		return nil, fmt.Errorf("ncs: device %s rejected graph: %w", d.name, err)
+	}
+	vcfg := vpu.DefaultConfig()
+	if opts.VPU != nil {
+		vcfg = *opts.VPU
+	}
+	engine, err := vpu.NewEngine(vcfg, net, d.seed)
+	if err != nil {
+		return nil, fmt.Errorf("ncs: %w", err)
+	}
+
+	g := &Graph{
+		dev:        d,
+		engine:     engine,
+		info:       info,
+		functional: opts.Functional,
+		inputBytes: info.InputShape.Elems() * 2, // FP16 tensor
+		resultBytes: func() int {
+			out := net.OutputShape().Elems()
+			return out*2 + d.cfg.ResultHeaderBytes
+		}(),
+		fifo:    sim.NewQueue[job](d.env, d.name+"/fifo", d.cfg.FIFODepth),
+		results: sim.NewQueue[Result](d.env, d.name+"/results", 0),
+	}
+	d.graph = g
+	d.env.Process(d.name+"/runtime", g.runtime)
+	return g, nil
+}
+
+// Close drains the device and shuts the runtime down
+// (mvncCloseDevice). Safe to call once; pending queued inferences are
+// still executed and their results remain retrievable.
+func (d *Device) Close(p *sim.Proc) error {
+	switch d.state {
+	case stateClosed:
+		return ErrDeviceNotOpen
+	case stateGone:
+		return ErrClosed
+	}
+	if d.graph != nil {
+		d.graph.fifo.Put(p, job{shutdown: true})
+	}
+	d.state = stateGone
+	return nil
+}
+
+// job is one queued inference (or the shutdown marker).
+type job struct {
+	id        int64
+	input     *tensor.T
+	userParam any
+	shutdown  bool
+}
+
+// Result is what GetResult returns: the NCAPI gives back the output
+// tensor (class confidences) plus the userParam passed to LoadTensor.
+type Result struct {
+	ID        int64
+	Output    *tensor.T // nil unless the graph is functional
+	UserParam any
+	ExecTime  time.Duration
+	Err       error // functional inference failure, if any
+}
+
+// Graph is an allocated network on one device.
+type Graph struct {
+	dev         *Device
+	engine      *vpu.Engine
+	info        *graphfile.Info
+	functional  bool
+	inputBytes  int
+	resultBytes int
+
+	fifo    *sim.Queue[job]
+	results *sim.Queue[Result]
+	nextID  int64
+}
+
+// Info returns the parsed blob header.
+func (g *Graph) Info() graphfile.Info { return *g.info }
+
+// Engine exposes the underlying VPU engine (for profiling tools).
+func (g *Graph) Engine() *vpu.Engine { return g.engine }
+
+// InputBytes returns the per-inference USB payload size.
+func (g *Graph) InputBytes() int { return g.inputBytes }
+
+// LoadTensor transfers one input to the stick and queues its
+// execution (mvncLoadTensor). It returns once the transfer completes
+// and the job is accepted — blocking only while the device FIFO is
+// full — so the host can overlap other work while the VPU runs.
+//
+// img must be a preprocessed CHW tensor when the graph is functional;
+// for pure performance runs it may be nil (the simulated transfer
+// still moves the full tensor size). userParam is returned with the
+// matching Result.
+func (g *Graph) LoadTensor(p *sim.Proc, img *tensor.T, userParam any) error {
+	if g.dev.state != stateOpen {
+		return ErrClosed
+	}
+	if g.functional && img == nil {
+		return ErrMissingInput
+	}
+	g.dev.port.Transfer(p, g.inputBytes)
+	g.nextID++
+	g.fifo.Put(p, job{id: g.nextID, input: img, userParam: userParam})
+	return nil
+}
+
+// GetResult blocks until the oldest queued inference finishes, then
+// transfers its result back (mvncGetResult). Results arrive strictly
+// in LoadTensor order.
+func (g *Graph) GetResult(p *sim.Proc) (Result, error) {
+	if g.dev.state == stateClosed {
+		return Result{}, ErrDeviceNotOpen
+	}
+	res := g.results.Get(p)
+	g.dev.port.Transfer(p, g.resultBytes)
+	return res, nil
+}
+
+// runtime is the RISC scheduler loop: dequeue, launch on the SHAVE
+// array, publish the result.
+func (g *Graph) runtime(p *sim.Proc) {
+	for {
+		j := g.fifo.Get(p)
+		if j.shutdown {
+			return
+		}
+		p.Sleep(g.dev.cfg.CommandOverhead)
+		g.dev.meter.SetPower(p.Now(), g.dev.cfg.ActiveWatts)
+		g.dev.thermal.advance(p.Now(), g.dev.cfg.ActiveWatts)
+		execStart := p.Now()
+		d := g.engine.NextExecDuration()
+		// Thermal throttling: above the firmware thresholds the SHAVE
+		// clock drops, stretching the inference.
+		if level, factor := g.dev.thermal.level(); level > 0 {
+			d = time.Duration(float64(d) / factor)
+			g.dev.thermal.stats.ThrottledInferences++
+		}
+		p.Sleep(d)
+		g.dev.meter.SetPower(p.Now(), g.dev.cfg.IdleWatts)
+		g.dev.thermal.advance(p.Now(), g.dev.cfg.IdleWatts)
+		if g.dev.onExec != nil {
+			g.dev.onExec(g.dev.name, execStart, p.Now())
+		}
+
+		res := Result{ID: j.id, UserParam: j.userParam, ExecTime: d}
+		if g.functional && j.input != nil {
+			out, err := g.engine.Infer(j.input)
+			res.Output, res.Err = out, err
+		}
+		g.results.Put(p, res)
+	}
+}

@@ -1,0 +1,173 @@
+package nn
+
+import (
+	"sync"
+
+	"repro/internal/gemm"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Conv is a 2-D convolution with square or rectangular kernels,
+// symmetric padding and stride, implemented as im2col + GEMM — the
+// same lowering Caffe and the NCSDK graph compiler use, so the
+// MAC/byte counts the cost models consume correspond to the real
+// execution strategy.
+type Conv struct {
+	LayerName string
+	InC, OutC int
+	KH, KW    int
+	Stride    int
+	Pad       int
+	Weights   *tensor.T // (OutC, InC, KH, KW)
+	Bias      *tensor.T // (OutC)
+}
+
+// NewConv constructs a convolution layer with MSRA-initialized weights
+// drawn from a sub-stream of src derived from the layer name, so
+// adding layers never perturbs the weights of existing ones.
+func NewConv(name string, inC, outC, k, stride, pad int, src *rng.Source) *Conv {
+	return NewConvRect(name, inC, outC, k, k, stride, pad, src)
+}
+
+// NewConvRect is NewConv with a rectangular kernel.
+func NewConvRect(name string, inC, outC, kh, kw, stride, pad int, src *rng.Source) *Conv {
+	c := &Conv{
+		LayerName: name,
+		InC:       inC, OutC: outC,
+		KH: kh, KW: kw,
+		Stride: stride, Pad: pad,
+		Weights: tensor.New(outC, inC, kh, kw),
+		Bias:    tensor.New(outC),
+	}
+	s := src.Derive("conv/" + name)
+	c.Weights.FillMSRA(s, inC*kh*kw)
+	// Small positive bias keeps a healthy fraction of ReLUs active in
+	// the randomly initialized full-size network.
+	c.Bias.FillNormal(s, 0.01, 0.005)
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv) Name() string { return c.LayerName }
+
+// Kind implements Layer.
+func (c *Conv) Kind() string { return "conv" }
+
+// outHW computes the spatial output dimensions.
+func (c *Conv) outHW(h, w int) (int, int) {
+	oh := (h+2*c.Pad-c.KH)/c.Stride + 1
+	ow := (w+2*c.Pad-c.KW)/c.Stride + 1
+	return oh, ow
+}
+
+// OutShape implements Layer.
+func (c *Conv) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := wantInputs(c.LayerName, in, 1); err != nil {
+		return nil, err
+	}
+	ic, h, w, err := chw(c.LayerName, in[0])
+	if err != nil {
+		return nil, err
+	}
+	if ic != c.InC {
+		return nil, shapeError(c.LayerName, "input channels %d, layer expects %d", ic, c.InC)
+	}
+	oh, ow := c.outHW(h, w)
+	if oh <= 0 || ow <= 0 {
+		return nil, shapeError(c.LayerName, "kernel %dx%d stride %d pad %d does not fit input %dx%d",
+			c.KH, c.KW, c.Stride, c.Pad, h, w)
+	}
+	return tensor.Shape{c.OutC, oh, ow}, nil
+}
+
+// colBuffers recycles im2col scratch across forward calls; convolution
+// dominates runtime and the buffers are large (conv2 of GoogLeNet
+// needs 64·9·56·56 floats ≈ 7 MB).
+var colBuffers = sync.Pool{New: func() any { return new([]float32) }}
+
+// Forward implements Layer.
+func (c *Conv) Forward(out *tensor.T, ins []*tensor.T) {
+	in := ins[0]
+	h, w := in.Dim(2), in.Dim(3)
+	n := in.Dim(0)
+	oh, ow := c.outHW(h, w)
+	k := c.InC * c.KH * c.KW
+	spatial := oh * ow
+
+	bufp := colBuffers.Get().(*[]float32)
+	if cap(*bufp) < k*spatial {
+		*bufp = make([]float32, k*spatial)
+	}
+	col := (*bufp)[:k*spatial]
+	defer colBuffers.Put(bufp)
+
+	wmat := c.Weights.Data // (OutC) x (k), already contiguous
+	for b := 0; b < n; b++ {
+		src := in.Data[b*c.InC*h*w : (b+1)*c.InC*h*w]
+		im2col(col, src, c.InC, h, w, c.KH, c.KW, c.Stride, c.Pad, oh, ow)
+		dst := out.Data[b*c.OutC*spatial : (b+1)*c.OutC*spatial]
+		gemm.Mul(dst, wmat, col, c.OutC, k, spatial)
+		for oc := 0; oc < c.OutC; oc++ {
+			bias := c.Bias.Data[oc]
+			row := dst[oc*spatial : (oc+1)*spatial]
+			for i := range row {
+				row[i] += bias
+			}
+		}
+	}
+}
+
+// im2col lowers one CHW image into the (C*KH*KW) x (OH*OW) patch
+// matrix with zero padding.
+func im2col(col, src []float32, cIn, h, w, kh, kw, stride, pad, oh, ow int) {
+	row := 0
+	for ci := 0; ci < cIn; ci++ {
+		plane := src[ci*h*w:]
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				dst := col[row*oh*ow:]
+				i := 0
+				for oy := 0; oy < oh; oy++ {
+					sy := oy*stride - pad + ky
+					if sy < 0 || sy >= h {
+						for ox := 0; ox < ow; ox++ {
+							dst[i] = 0
+							i++
+						}
+						continue
+					}
+					srow := plane[sy*w:]
+					for ox := 0; ox < ow; ox++ {
+						sx := ox*stride - pad + kx
+						if sx < 0 || sx >= w {
+							dst[i] = 0
+						} else {
+							dst[i] = srow[sx]
+						}
+						i++
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// Stats implements Layer.
+func (c *Conv) Stats(in []tensor.Shape) Stats {
+	out, err := c.OutShape(in)
+	if err != nil {
+		return Stats{}
+	}
+	outElems := int64(out.Elems())
+	return Stats{
+		MACs:        outElems * int64(c.InC*c.KH*c.KW),
+		Params:      int64(c.Weights.Elems() + c.Bias.Elems()),
+		InputElems:  int64(in[0].Elems()),
+		OutputElems: outElems,
+	}
+}
+
+// Tensors implements the weighted interface.
+func (c *Conv) Tensors() []*tensor.T { return []*tensor.T{c.Weights, c.Bias} }

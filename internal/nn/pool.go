@@ -1,0 +1,168 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// PoolKind distinguishes max from average pooling.
+type PoolKind int
+
+const (
+	// MaxPool takes the maximum over each window.
+	MaxPool PoolKind = iota
+	// AvgPool averages each window (dividing by the window's
+	// intersection with the padded image, as Caffe does).
+	AvgPool
+)
+
+// Pool is a 2-D spatial pooling layer. GoogLeNet's pooling layers use
+// Caffe's ceil-mode output rounding, so CeilMode defaults to on in the
+// builders.
+type Pool struct {
+	LayerName string
+	PoolOp    PoolKind
+	K         int
+	Stride    int
+	Pad       int
+	CeilMode  bool
+	// Global pools over the full input (GoogLeNet's final 7x7 average
+	// pool is expressed this way by the builder for robustness to
+	// input geometry).
+	Global bool
+}
+
+// Name implements Layer.
+func (p *Pool) Name() string { return p.LayerName }
+
+// Kind implements Layer.
+func (p *Pool) Kind() string {
+	if p.PoolOp == MaxPool {
+		return "maxpool"
+	}
+	return "avgpool"
+}
+
+func (p *Pool) outDim(in int) int {
+	if p.Global {
+		return 1
+	}
+	num := float64(in + 2*p.Pad - p.K)
+	if p.CeilMode {
+		return int(math.Ceil(num/float64(p.Stride))) + 1
+	}
+	return int(math.Floor(num/float64(p.Stride))) + 1
+}
+
+// OutShape implements Layer.
+func (p *Pool) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := wantInputs(p.LayerName, in, 1); err != nil {
+		return nil, err
+	}
+	c, h, w, err := chw(p.LayerName, in[0])
+	if err != nil {
+		return nil, err
+	}
+	if p.Global {
+		return tensor.Shape{c, 1, 1}, nil
+	}
+	oh, ow := p.outDim(h), p.outDim(w)
+	if oh <= 0 || ow <= 0 {
+		return nil, shapeError(p.LayerName, "pool %dx%d stride %d does not fit input %dx%d",
+			p.K, p.K, p.Stride, h, w)
+	}
+	// Caffe clips the last window so it starts inside the (padded)
+	// image; mirror that to keep shapes identical.
+	if p.Pad > 0 {
+		if (oh-1)*p.Stride >= h+p.Pad {
+			oh--
+		}
+		if (ow-1)*p.Stride >= w+p.Pad {
+			ow--
+		}
+	}
+	return tensor.Shape{c, oh, ow}, nil
+}
+
+// Forward implements Layer.
+func (p *Pool) Forward(out *tensor.T, ins []*tensor.T) {
+	in := ins[0]
+	n, c, h, w := in.Dim(0), in.Dim(1), in.Dim(2), in.Dim(3)
+	oh, ow := out.Dim(2), out.Dim(3)
+
+	k, stride, pad := p.K, p.Stride, p.Pad
+	if p.Global {
+		k, stride, pad = h, 1, 0
+		if w > k {
+			k = w // Global pooling window covers the full plane.
+		}
+	}
+
+	for b := 0; b < n; b++ {
+		for ci := 0; ci < c; ci++ {
+			src := in.Data[(b*c+ci)*h*w:]
+			dst := out.Data[(b*c+ci)*oh*ow:]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					y0, x0 := oy*stride-pad, ox*stride-pad
+					y1, x1 := y0+k, x0+k
+					if p.Global {
+						y0, x0, y1, x1 = 0, 0, h, w
+					}
+					cy0, cx0 := max(y0, 0), max(x0, 0)
+					cy1, cx1 := min(y1, h), min(x1, w)
+					if p.PoolOp == MaxPool {
+						best := float32(math.Inf(-1))
+						for y := cy0; y < cy1; y++ {
+							row := src[y*w:]
+							for x := cx0; x < cx1; x++ {
+								if row[x] > best {
+									best = row[x]
+								}
+							}
+						}
+						if cy1 <= cy0 || cx1 <= cx0 {
+							best = 0 // window entirely in padding
+						}
+						dst[oy*ow+ox] = best
+					} else {
+						var sum float32
+						for y := cy0; y < cy1; y++ {
+							row := src[y*w:]
+							for x := cx0; x < cx1; x++ {
+								sum += row[x]
+							}
+						}
+						area := (cy1 - cy0) * (cx1 - cx0)
+						if area <= 0 {
+							dst[oy*ow+ox] = 0
+						} else {
+							dst[oy*ow+ox] = sum / float32(area)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Stats implements Layer. Pooling performs one compare or add per
+// window element; we count those as MAC-equivalents because the SHAVE
+// CMU/VAU issue them at the same rate.
+func (p *Pool) Stats(in []tensor.Shape) Stats {
+	out, err := p.OutShape(in)
+	if err != nil {
+		return Stats{}
+	}
+	k := p.K
+	if p.Global {
+		k = in[0][1] // full height; width assumed comparable
+	}
+	outElems := int64(out.Elems())
+	return Stats{
+		MACs:        outElems * int64(k*k),
+		InputElems:  int64(in[0].Elems()),
+		OutputElems: outElems,
+	}
+}

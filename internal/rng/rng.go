@@ -1,0 +1,124 @@
+// Package rng provides the deterministic pseudo-random source used
+// everywhere randomness appears in the reproduction: network weight
+// initialization, the synthetic ImageNet dataset, and the small timing
+// jitter that produces the error bars in the figures.
+//
+// Determinism is a design requirement (DESIGN.md §4): two runs of any
+// experiment must produce identical tables. The stdlib math/rand would
+// work, but owning the generator pins the sequence independent of Go
+// releases and gives cheap named sub-streams, so the dataset generator
+// and the weight initializer can never perturb one another.
+package rng
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Source is a splitmix64 generator. It is tiny, passes BigCrush-level
+// statistical testing for this purpose, and supports O(1) seeding so
+// per-image and per-layer sub-streams are cheap.
+type Source struct {
+	state uint64
+	// spare caches the second output of the polar normal transform.
+	spare    float64
+	hasSpare bool
+}
+
+// New returns a Source seeded with seed.
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+// Derive returns an independent sub-stream identified by name. The
+// sub-stream seed mixes the parent seed with an FNV-1a hash of the
+// name, so call order does not matter and streams never collide for
+// distinct names in practice.
+func (s *Source) Derive(name string) *Source {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return New(mix64(s.state ^ h.Sum64()))
+}
+
+// DeriveIndex returns an independent sub-stream for a numeric index,
+// e.g. one stream per image in the synthetic dataset.
+func (s *Source) DeriveIndex(i int) *Source {
+	return New(mix64(s.state ^ (0x9E3779B97F4A7C15 * uint64(i+1))))
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	return mix64(s.state)
+}
+
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Float32 returns a uniform value in [0, 1).
+func (s *Source) Float32() float32 {
+	return float32(s.Uint64()>>40) / (1 << 24)
+}
+
+// Intn returns a uniform integer in [0, n). It panics when n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire-style bounded generation without modulo bias for the
+	// ranges used here (n is always far below 2^63).
+	return int(s.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal variate via the Marsaglia
+// polar method, caching the spare value.
+func (s *Source) NormFloat64() float64 {
+	if s.hasSpare {
+		s.hasSpare = false
+		return s.spare
+	}
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q == 0 || q >= 1 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(q) / q)
+		s.spare = v * f
+		s.hasSpare = true
+		return u * f
+	}
+}
+
+// NormFloat32 returns a standard normal variate as float32.
+func (s *Source) NormFloat32() float32 { return float32(s.NormFloat64()) }
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Jitter returns a multiplicative noise factor exp(sigma*N(0,1)),
+// i.e. lognormal with median 1. The device models use it to produce
+// the small run-to-run variation behind the figures' error bars.
+func (s *Source) Jitter(sigma float64) float64 {
+	if sigma == 0 {
+		return 1
+	}
+	return math.Exp(sigma * s.NormFloat64())
+}

@@ -1,0 +1,192 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("sequence diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions across different seeds", same)
+	}
+}
+
+func TestDeriveIsOrderIndependent(t *testing.T) {
+	parent1 := New(7)
+	w1 := parent1.Derive("weights").Uint64()
+	d1 := parent1.Derive("dataset").Uint64()
+
+	parent2 := New(7)
+	d2 := parent2.Derive("dataset").Uint64()
+	w2 := parent2.Derive("weights").Uint64()
+
+	if w1 != w2 || d1 != d2 {
+		t.Error("Derive must not depend on call order")
+	}
+	if w1 == d1 {
+		t.Error("distinct names should give distinct streams")
+	}
+}
+
+func TestDeriveIndexStreamsDiffer(t *testing.T) {
+	p := New(7)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		v := p.DeriveIndex(i).Uint64()
+		if seen[v] {
+			t.Fatalf("collision at index %d", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+	}
+}
+
+func TestFloat64Uniformity(t *testing.T) {
+	s := New(99)
+	n := 100000
+	var sum float64
+	buckets := make([]int, 10)
+	for i := 0; i < n; i++ {
+		v := s.Float64()
+		sum += v
+		buckets[int(v*10)]++
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %g, want ~0.5", mean)
+	}
+	for i, c := range buckets {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Errorf("bucket %d badly unbalanced: %d", i, c)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(123)
+	n := 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %g", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %g", variance)
+	}
+}
+
+func TestIntn(t *testing.T) {
+	s := New(5)
+	counts := make([]int, 7)
+	for i := 0; i < 7000; i++ {
+		counts[s.Intn(7)]++
+	}
+	for v, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Errorf("Intn(7) value %d count %d, want ~1000", v, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	s.Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(11)
+	p := s.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestJitter(t *testing.T) {
+	s := New(17)
+	if s.Jitter(0) != 1 {
+		t.Error("Jitter(0) must be exactly 1")
+	}
+	var sum float64
+	n := 50000
+	for i := 0; i < n; i++ {
+		j := s.Jitter(0.02)
+		if j <= 0 {
+			t.Fatalf("jitter must be positive, got %g", j)
+		}
+		sum += math.Log(j)
+	}
+	if math.Abs(sum/float64(n)) > 0.002 {
+		t.Errorf("log-jitter mean = %g, want ~0", sum/float64(n))
+	}
+}
+
+// Property: Perm always returns a valid permutation for any small n.
+func TestQuickPerm(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%64 + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Derive twice with the same name yields the same stream.
+func TestQuickDeriveStable(t *testing.T) {
+	f := func(seed uint64, name string) bool {
+		a := New(seed).Derive(name)
+		b := New(seed).Derive(name)
+		return a.Uint64() == b.Uint64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,101 @@
+package sim
+
+import "fmt"
+
+// Queue is a FIFO channel between simulated processes, optionally
+// bounded. It models the NCS inference FIFO (bounded: the device
+// accepts a limited number of queued tensors) and result mailboxes.
+type Queue[T any] struct {
+	env      *Env
+	name     string
+	capacity int // 0 = unbounded
+	items    []T
+	getters  []*Proc
+	putters  []*Proc
+	// peak tracks the high-water mark for reporting.
+	peak int
+}
+
+// NewQueue creates a FIFO with the given capacity; capacity 0 means
+// unbounded.
+func NewQueue[T any](e *Env, name string, capacity int) *Queue[T] {
+	if capacity < 0 {
+		panic(fmt.Sprintf("sim: queue %q negative capacity", name))
+	}
+	return &Queue[T]{env: e, name: name, capacity: capacity}
+}
+
+// Len returns the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Peak returns the high-water mark of the buffer.
+func (q *Queue[T]) Peak() int { return q.peak }
+
+// Name returns the queue name.
+func (q *Queue[T]) Name() string { return q.name }
+
+// Put appends v, blocking while the queue is full.
+func (q *Queue[T]) Put(p *Proc, v T) {
+	for q.capacity > 0 && len(q.items) >= q.capacity {
+		q.putters = append(q.putters, p)
+		p.blockUnscheduled()
+	}
+	q.items = append(q.items, v)
+	if len(q.items) > q.peak {
+		q.peak = len(q.items)
+	}
+	if len(q.getters) > 0 {
+		g := q.getters[0]
+		q.getters = q.getters[1:]
+		g.wake()
+	}
+}
+
+// TryPut appends v without blocking; it reports success.
+func (q *Queue[T]) TryPut(v T) bool {
+	if q.capacity > 0 && len(q.items) >= q.capacity {
+		return false
+	}
+	q.items = append(q.items, v)
+	if len(q.items) > q.peak {
+		q.peak = len(q.items)
+	}
+	if len(q.getters) > 0 {
+		g := q.getters[0]
+		q.getters = q.getters[1:]
+		g.wake()
+	}
+	return true
+}
+
+// Get removes and returns the oldest item, blocking while empty.
+func (q *Queue[T]) Get(p *Proc) T {
+	for len(q.items) == 0 {
+		q.getters = append(q.getters, p)
+		p.blockUnscheduled()
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	if len(q.putters) > 0 {
+		w := q.putters[0]
+		q.putters = q.putters[1:]
+		w.wake()
+	}
+	return v
+}
+
+// TryGet removes the oldest item without blocking.
+func (q *Queue[T]) TryGet() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	if len(q.putters) > 0 {
+		w := q.putters[0]
+		q.putters = q.putters[1:]
+		w.wake()
+	}
+	return v, true
+}

@@ -1,0 +1,191 @@
+// Package sim is a deterministic discrete-event simulation kernel in
+// the style of SimPy: model code runs as ordinary Go functions inside
+// simulated processes, blocking on virtual-time primitives (Sleep,
+// resource acquisition, queue operations) while a single-threaded
+// scheduler advances a virtual clock.
+//
+// Every performance number in the reproduction comes from this kernel
+// (DESIGN.md §4): the NCS devices, the USB fabric, the host threads of
+// the NCSw multi-VPU scheduler and the CPU/GPU baselines are all
+// processes here, so experiments are fast, deterministic and
+// independent of the host machine.
+//
+// Concurrency model: processes are goroutines, but exactly one runs at
+// a time — the scheduler hands control to a process and waits for it
+// to park (block on a primitive) or terminate before dispatching the
+// next event. Event order is a strict (time, sequence) lexicographic
+// order, so simulations are reproducible bit-for-bit.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Env is one simulation universe: a virtual clock plus an event queue.
+// Create with NewEnv; not safe for concurrent use by multiple OS
+// threads outside the process protocol.
+type Env struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+	// parked is signaled by the running process when it blocks or
+	// terminates, returning control to the scheduler.
+	parked chan struct{}
+	// active counts live (started, unterminated) processes, to detect
+	// deadlock: events exhausted while processes still wait.
+	active int
+	// waiting counts processes parked on resources/queues with no
+	// pending event (they can only be woken by another process).
+	waiting int
+}
+
+// NewEnv creates an empty simulation at time zero.
+func NewEnv() *Env {
+	return &Env{parked: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() time.Duration { return e.now }
+
+type event struct {
+	t   time.Duration
+	seq uint64
+	p   *Proc  // process to resume, if any
+	fn  func() // callback to run, if any
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func (e *Env) schedule(at time.Duration, p *Proc, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{t: at, seq: e.seq, p: p, fn: fn})
+}
+
+// At schedules fn to run as a callback at absolute virtual time t
+// (t >= Now). Callbacks run on the scheduler and must not block.
+func (e *Env) At(t time.Duration, fn func()) { e.schedule(t, nil, fn) }
+
+// After schedules fn to run after delay d.
+func (e *Env) After(d time.Duration, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.schedule(e.now+d, nil, fn)
+}
+
+// Proc is the handle a simulated process uses to interact with
+// virtual time. It is only valid inside the function passed to
+// Env.Process.
+type Proc struct {
+	env    *Env
+	resume chan struct{}
+	name   string
+	done   bool
+}
+
+// Name returns the process name (for traces and errors).
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the owning environment.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.env.now }
+
+// park returns control to the scheduler and blocks until resumed.
+func (p *Proc) park() {
+	p.env.parked <- struct{}{}
+	<-p.resume
+}
+
+// Process starts a new simulated process running fn. The process
+// begins at the current virtual time (after the caller yields). fn
+// must interact with virtual time only through p.
+func (e *Env) Process(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, resume: make(chan struct{}), name: name}
+	e.active++
+	go func() {
+		<-p.resume // wait for the start event
+		fn(p)
+		p.done = true
+		e.active--
+		e.parked <- struct{}{}
+	}()
+	e.schedule(e.now, p, nil)
+	return p
+}
+
+// Sleep suspends the process for d of virtual time. d < 0 panics;
+// d == 0 yields, letting same-time events run in FIFO order.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: process %q sleeping negative duration %v", p.name, d))
+	}
+	p.env.schedule(p.env.now+d, p, nil)
+	p.park()
+}
+
+// blockUnscheduled parks the process with no pending event; it must be
+// woken via wake() by another process (resource release, queue push).
+func (p *Proc) blockUnscheduled() {
+	p.env.waiting++
+	p.park()
+}
+
+// wake schedules p to resume at the current time.
+func (p *Proc) wake() {
+	p.env.waiting--
+	p.env.schedule(p.env.now, p, nil)
+}
+
+// Run dispatches events until none remain. It panics if live
+// processes are still blocked when the queue drains — that is a
+// deadlock in the model, which must fail loudly rather than silently
+// truncate an experiment.
+func (e *Env) Run() {
+	for len(e.events) > 0 {
+		e.step()
+	}
+	if e.active > 0 {
+		panic(fmt.Sprintf("sim: deadlock — %d process(es) still blocked at t=%v", e.active, e.now))
+	}
+}
+
+// RunUntil dispatches events with timestamp <= t, then sets the clock
+// to t. Processes may still be live afterwards.
+func (e *Env) RunUntil(t time.Duration) {
+	for len(e.events) > 0 && e.events[0].t <= t {
+		e.step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+func (e *Env) step() {
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.t
+	if ev.fn != nil {
+		ev.fn()
+	}
+	if ev.p != nil {
+		ev.p.resume <- struct{}{}
+		<-e.parked
+	}
+}

@@ -1,0 +1,255 @@
+package sipp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ToneMap is the SIPP tone-mapping filter: a pointwise 256-entry
+// lookup table with linear interpolation, programmed here with a gamma
+// curve.
+type ToneMap struct {
+	lut [256]float32
+}
+
+// NewGammaToneMap builds a tone map applying out = 255·(in/255)^gamma.
+func NewGammaToneMap(gamma float64) (*ToneMap, error) {
+	if gamma <= 0 {
+		return nil, fmt.Errorf("sipp: gamma %g must be positive", gamma)
+	}
+	t := &ToneMap{}
+	for i := range t.lut {
+		t.lut[i] = float32(255 * math.Pow(float64(i)/255, gamma))
+	}
+	return t, nil
+}
+
+// Name implements Kernel.
+func (t *ToneMap) Name() string { return "tonemap" }
+
+// Window implements Kernel: pointwise.
+func (t *ToneMap) Window() int { return 1 }
+
+// Apply implements Kernel.
+func (t *ToneMap) Apply(in *tensor.T) *tensor.T {
+	out := tensor.New(in.ShapeOf...)
+	for i, v := range in.Data {
+		out.Data[i] = t.lookup(v)
+	}
+	return out
+}
+
+func (t *ToneMap) lookup(v float32) float32 {
+	if v <= 0 {
+		return t.lut[0]
+	}
+	if v >= 255 {
+		return t.lut[255]
+	}
+	lo := int(v)
+	frac := v - float32(lo)
+	hi := lo + 1
+	if hi > 255 {
+		hi = 255
+	}
+	return t.lut[lo]*(1-frac) + t.lut[hi]*frac
+}
+
+// Denoise is the luminance-denoise filter: a 5×5 Gaussian smoothing
+// kernel with edge clamping.
+type Denoise struct {
+	weights [5][5]float32
+}
+
+// NewDenoise builds the 5×5 Gaussian denoiser with the given sigma.
+func NewDenoise(sigma float64) (*Denoise, error) {
+	if sigma <= 0 {
+		return nil, fmt.Errorf("sipp: denoise sigma %g must be positive", sigma)
+	}
+	d := &Denoise{}
+	var sum float64
+	for y := -2; y <= 2; y++ {
+		for x := -2; x <= 2; x++ {
+			w := math.Exp(-float64(x*x+y*y) / (2 * sigma * sigma))
+			d.weights[y+2][x+2] = float32(w)
+			sum += w
+		}
+	}
+	inv := float32(1 / sum)
+	for y := range d.weights {
+		for x := range d.weights[y] {
+			d.weights[y][x] *= inv
+		}
+	}
+	return d, nil
+}
+
+// Name implements Kernel.
+func (d *Denoise) Name() string { return "denoise" }
+
+// Window implements Kernel.
+func (d *Denoise) Window() int { return 5 }
+
+// Apply implements Kernel.
+func (d *Denoise) Apply(in *tensor.T) *tensor.T {
+	h, w := in.Dim(0), in.Dim(1)
+	out := tensor.New(h, w)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var acc float32
+			for ky := -2; ky <= 2; ky++ {
+				sy := clamp(y+ky, 0, h-1)
+				row := in.Data[sy*w:]
+				for kx := -2; kx <= 2; kx++ {
+					sx := clamp(x+kx, 0, w-1)
+					acc += d.weights[ky+2][kx+2] * row[sx]
+				}
+			}
+			out.Data[y*w+x] = acc
+		}
+	}
+	return out
+}
+
+// HoGEdge is the Histogram-of-Oriented-Gradients edge operator: per
+// pixel it produces the gradient magnitude; CellHistograms aggregates
+// the orientation histograms HoG descriptors are built from.
+type HoGEdge struct {
+	// Bins is the orientation bin count for CellHistograms (default 9,
+	// unsigned orientation over [0, π)).
+	Bins int
+}
+
+// NewHoGEdge returns the standard 9-bin operator.
+func NewHoGEdge() *HoGEdge { return &HoGEdge{Bins: 9} }
+
+// Name implements Kernel.
+func (hg *HoGEdge) Name() string { return "hog-edge" }
+
+// Window implements Kernel: 3×3 Sobel support.
+func (hg *HoGEdge) Window() int { return 3 }
+
+// Apply implements Kernel: outputs the Sobel gradient magnitude.
+func (hg *HoGEdge) Apply(in *tensor.T) *tensor.T {
+	gx, gy := sobel(in)
+	out := tensor.New(in.ShapeOf...)
+	for i := range out.Data {
+		out.Data[i] = float32(math.Hypot(float64(gx.Data[i]), float64(gy.Data[i])))
+	}
+	return out
+}
+
+// CellHistograms divides the image into cell×cell blocks and returns
+// per-cell orientation histograms of shape (cellsY, cellsX, Bins),
+// magnitude-weighted — the HoG descriptor core.
+func (hg *HoGEdge) CellHistograms(in *tensor.T, cell int) (*tensor.T, error) {
+	if cell <= 0 {
+		return nil, fmt.Errorf("sipp: cell size %d", cell)
+	}
+	bins := hg.Bins
+	if bins <= 0 {
+		bins = 9
+	}
+	h, w := in.Dim(0), in.Dim(1)
+	cy, cx := h/cell, w/cell
+	if cy == 0 || cx == 0 {
+		return nil, fmt.Errorf("sipp: image %dx%d smaller than cell %d", h, w, cell)
+	}
+	gx, gy := sobel(in)
+	out := tensor.New(cy, cx, bins)
+	for y := 0; y < cy*cell; y++ {
+		for x := 0; x < cx*cell; x++ {
+			i := y*w + x
+			mag := math.Hypot(float64(gx.Data[i]), float64(gy.Data[i]))
+			if mag == 0 {
+				continue
+			}
+			// Unsigned orientation in [0, π).
+			theta := math.Atan2(float64(gy.Data[i]), float64(gx.Data[i]))
+			if theta < 0 {
+				theta += math.Pi
+			}
+			bin := int(theta / math.Pi * float64(bins))
+			if bin >= bins {
+				bin = bins - 1
+			}
+			out.Data[((y/cell)*cx+(x/cell))*bins+bin] += float32(mag)
+		}
+	}
+	return out, nil
+}
+
+// HarrisCorner is the Harris corner detector filter: the 5×5
+// structure-tensor response R = det(M) − k·trace(M)².
+type HarrisCorner struct {
+	// K is the Harris sensitivity constant (typically 0.04–0.06).
+	K float32
+}
+
+// NewHarrisCorner returns the detector with k = 0.04.
+func NewHarrisCorner() *HarrisCorner { return &HarrisCorner{K: 0.04} }
+
+// Name implements Kernel.
+func (hc *HarrisCorner) Name() string { return "harris" }
+
+// Window implements Kernel.
+func (hc *HarrisCorner) Window() int { return 5 }
+
+// Apply implements Kernel: outputs the per-pixel corner response.
+func (hc *HarrisCorner) Apply(in *tensor.T) *tensor.T {
+	h, w := in.Dim(0), in.Dim(1)
+	gx, gy := sobel(in)
+	out := tensor.New(h, w)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var sxx, syy, sxy float64
+			for ky := -2; ky <= 2; ky++ {
+				sy := clamp(y+ky, 0, h-1)
+				for kx := -2; kx <= 2; kx++ {
+					sx := clamp(x+kx, 0, w-1)
+					ix := float64(gx.Data[sy*w+sx])
+					iy := float64(gy.Data[sy*w+sx])
+					sxx += ix * ix
+					syy += iy * iy
+					sxy += ix * iy
+				}
+			}
+			det := sxx*syy - sxy*sxy
+			tr := sxx + syy
+			out.Data[y*w+x] = float32(det - float64(hc.K)*tr*tr)
+		}
+	}
+	return out
+}
+
+// sobel computes 3×3 Sobel gradients with edge clamping.
+func sobel(in *tensor.T) (gx, gy *tensor.T) {
+	h, w := in.Dim(0), in.Dim(1)
+	gx = tensor.New(h, w)
+	gy = tensor.New(h, w)
+	at := func(y, x int) float32 {
+		return in.Data[clamp(y, 0, h-1)*w+clamp(x, 0, w-1)]
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			tl, tc, tr := at(y-1, x-1), at(y-1, x), at(y-1, x+1)
+			ml, mr := at(y, x-1), at(y, x+1)
+			bl, bc, br := at(y+1, x-1), at(y+1, x), at(y+1, x+1)
+			gx.Data[y*w+x] = (tr + 2*mr + br) - (tl + 2*ml + bl)
+			gy.Data[y*w+x] = (bl + 2*bc + br) - (tl + 2*tc + tr)
+		}
+	}
+	return gx, gy
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

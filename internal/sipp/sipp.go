@@ -1,0 +1,144 @@
+// Package sipp models the Streaming Image Processing Pipeline of the
+// Myriad 2 (§II-A of the paper): fully programmable hardware-
+// accelerated kernels for common image-processing operations — tone
+// mapping, Harris corner detection, the HoG edge operator, denoising —
+// each connected to the CMX memory block through a crossbar, with a
+// local controller per filter managing read/writeback. The typical
+// kernel configuration is 5×5 per target output pixel, and filters
+// can output one completely computed pixel per cycle.
+//
+// The package provides both halves of each kernel: the functional
+// image operation (so pipelines produce real pixels) and the timing
+// model (one pixel per cycle per filter, pipelined across stages, plus
+// a per-stage line-buffer footprint that must fit in CMX). The paper
+// notes that combining SHAVE execution with SIPP filtering is
+// feasible; the pipeline model here is what an NCSw preprocessing
+// stage would cost on-device.
+package sipp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// Kernel is one hardware-accelerated filter stage.
+type Kernel interface {
+	// Name identifies the filter.
+	Name() string
+	// Window returns the filter's support size (w×w input pixels per
+	// output pixel; 1 for pointwise filters).
+	Window() int
+	// Apply computes the filter on a single-channel image (H, W) in
+	// [0,255], returning a new image of the same shape.
+	Apply(in *tensor.T) *tensor.T
+}
+
+// Pipeline is an ordered chain of filters streaming through CMX.
+type Pipeline struct {
+	ClockHz  float64
+	CMXBytes int
+	stages   []Kernel
+}
+
+// NewPipeline creates a pipeline at the given clock with the given
+// CMX budget. Use the Myriad 2 defaults via DefaultPipeline.
+func NewPipeline(clockHz float64, cmxBytes int) (*Pipeline, error) {
+	if clockHz <= 0 || cmxBytes <= 0 {
+		return nil, fmt.Errorf("sipp: invalid pipeline parameters (%g Hz, %d bytes)", clockHz, cmxBytes)
+	}
+	return &Pipeline{ClockHz: clockHz, CMXBytes: cmxBytes}, nil
+}
+
+// DefaultPipeline returns a pipeline on the Myriad 2's 600 MHz clock
+// and 2 MB CMX.
+func DefaultPipeline() *Pipeline {
+	p, err := NewPipeline(600e6, 2<<20)
+	if err != nil {
+		panic(err) // static arguments cannot fail
+	}
+	return p
+}
+
+// Add appends a filter stage and returns the pipeline for chaining.
+func (p *Pipeline) Add(k Kernel) *Pipeline {
+	p.stages = append(p.stages, k)
+	return p
+}
+
+// Stages returns the number of filter stages.
+func (p *Pipeline) Stages() int { return len(p.stages) }
+
+// lineBufferBytes is the CMX footprint of one stage on a W-wide image:
+// each filter's local controller keeps Window input lines plus one
+// output line, 2 bytes per pixel (FP16 planes).
+func lineBufferBytes(k Kernel, width int) int {
+	return (k.Window() + 1) * width * 2
+}
+
+// CMXFootprint returns the total line-buffer bytes the pipeline needs
+// for a given image width.
+func (p *Pipeline) CMXFootprint(width int) int {
+	total := 0
+	for _, k := range p.stages {
+		total += lineBufferBytes(k, width)
+	}
+	return total
+}
+
+// Duration returns the modelled execution time for an h×w image: the
+// stages are fully pipelined through the crossbar, so the image
+// streams once (one pixel per cycle) plus a per-stage fill latency of
+// Window lines. It returns an error when the line buffers exceed CMX —
+// the configuration a real SIPP setup would reject.
+func (p *Pipeline) Duration(h, w int) (time.Duration, error) {
+	if h <= 0 || w <= 0 {
+		return 0, fmt.Errorf("sipp: invalid image %dx%d", h, w)
+	}
+	if len(p.stages) == 0 {
+		return 0, fmt.Errorf("sipp: empty pipeline")
+	}
+	if fp := p.CMXFootprint(w); fp > p.CMXBytes {
+		return 0, fmt.Errorf("sipp: line buffers need %d bytes, CMX has %d", fp, p.CMXBytes)
+	}
+	cycles := h * w // streaming: 1 output pixel per cycle
+	for _, k := range p.stages {
+		cycles += k.Window() * w // fill latency per stage
+	}
+	return time.Duration(float64(cycles) / p.ClockHz * float64(time.Second)), nil
+}
+
+// Run applies the stages in order (functionally) and returns the
+// final image along with the modelled duration.
+func (p *Pipeline) Run(in *tensor.T) (*tensor.T, time.Duration, error) {
+	if in.Rank() != 2 {
+		return nil, 0, fmt.Errorf("sipp: pipeline wants a (H, W) plane, got %v", in.ShapeOf)
+	}
+	d, err := p.Duration(in.Dim(0), in.Dim(1))
+	if err != nil {
+		return nil, 0, err
+	}
+	img := in
+	for _, k := range p.stages {
+		img = k.Apply(img)
+	}
+	return img, d, nil
+}
+
+// Luma converts a (3, H, W) RGB image in [0,255] to a single (H, W)
+// luminance plane with the BT.601 weights, the form the SIPP's
+// luminance-denoise path consumes.
+func Luma(rgb *tensor.T) (*tensor.T, error) {
+	if rgb.Rank() != 3 || rgb.Dim(0) != 3 {
+		return nil, fmt.Errorf("sipp: Luma wants (3, H, W), got %v", rgb.ShapeOf)
+	}
+	h, w := rgb.Dim(1), rgb.Dim(2)
+	out := tensor.New(h, w)
+	plane := h * w
+	r, g, b := rgb.Data[:plane], rgb.Data[plane:2*plane], rgb.Data[2*plane:3*plane]
+	for i := range out.Data {
+		out.Data[i] = 0.299*r[i] + 0.587*g[i] + 0.114*b[i]
+	}
+	return out, nil
+}

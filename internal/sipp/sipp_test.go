@@ -1,0 +1,320 @@
+package sipp
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func ramp(h, w int) *tensor.T {
+	img := tensor.New(h, w)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img.Data[y*w+x] = float32(x) * 255 / float32(w-1)
+		}
+	}
+	return img
+}
+
+func noisy(h, w int, seed uint64, sigma float32) *tensor.T {
+	img := tensor.New(h, w)
+	src := rng.New(seed)
+	for i := range img.Data {
+		img.Data[i] = 128 + sigma*src.NormFloat32()
+	}
+	return img
+}
+
+func variance(img *tensor.T) float64 {
+	var sum, sum2 float64
+	for _, v := range img.Data {
+		sum += float64(v)
+		sum2 += float64(v) * float64(v)
+	}
+	n := float64(img.Elems())
+	m := sum / n
+	return sum2/n - m*m
+}
+
+func TestToneMapGammaOneIsIdentity(t *testing.T) {
+	tm, err := NewGammaToneMap(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := ramp(4, 64)
+	out := tm.Apply(img)
+	for i := range img.Data {
+		if math.Abs(float64(out.Data[i]-img.Data[i])) > 0.01 {
+			t.Fatalf("gamma 1 changed pixel %d: %g -> %g", i, img.Data[i], out.Data[i])
+		}
+	}
+}
+
+func TestToneMapGammaBrightens(t *testing.T) {
+	tm, err := NewGammaToneMap(0.5) // gamma < 1 brightens midtones
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := tensor.New(1, 1)
+	mid.Data[0] = 64
+	out := tm.Apply(mid)
+	want := 255 * math.Sqrt(64.0/255)
+	if math.Abs(float64(out.Data[0])-want) > 1 {
+		t.Errorf("gamma 0.5 of 64 = %g, want ~%g", out.Data[0], want)
+	}
+	// Monotonicity across the range.
+	r := ramp(1, 256)
+	o := tm.Apply(r)
+	for i := 1; i < 256; i++ {
+		if o.Data[i] < o.Data[i-1] {
+			t.Fatal("tone map not monotone")
+		}
+	}
+}
+
+func TestToneMapClamps(t *testing.T) {
+	tm, _ := NewGammaToneMap(2)
+	img := tensor.New(1, 2)
+	img.Data[0], img.Data[1] = -10, 300
+	out := tm.Apply(img)
+	if out.Data[0] != tm.lut[0] || out.Data[1] != tm.lut[255] {
+		t.Error("out-of-range pixels not clamped")
+	}
+	if _, err := NewGammaToneMap(0); err == nil {
+		t.Error("gamma 0 accepted")
+	}
+}
+
+func TestDenoisePreservesConstant(t *testing.T) {
+	d, err := NewDenoise(1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := tensor.New(8, 8)
+	img.Fill(77)
+	out := d.Apply(img)
+	for i, v := range out.Data {
+		if math.Abs(float64(v-77)) > 1e-3 {
+			t.Fatalf("constant image changed at %d: %g", i, v)
+		}
+	}
+}
+
+func TestDenoiseReducesNoise(t *testing.T) {
+	d, _ := NewDenoise(1.2)
+	img := noisy(64, 64, 3, 20)
+	before := variance(img)
+	after := variance(d.Apply(img))
+	if after >= before/3 {
+		t.Errorf("denoise variance %g -> %g; expected a strong reduction", before, after)
+	}
+	if _, err := NewDenoise(-1); err == nil {
+		t.Error("negative sigma accepted")
+	}
+}
+
+func TestHoGEdgeOnRamp(t *testing.T) {
+	hg := NewHoGEdge()
+	img := ramp(16, 16)
+	out := hg.Apply(img)
+	// A horizontal ramp has constant horizontal gradient: uniform
+	// magnitude in the interior, no vertical component.
+	inner := out.At(8, 8)
+	if inner <= 0 {
+		t.Fatal("ramp gradient magnitude should be positive")
+	}
+	if math.Abs(float64(out.At(4, 8)-inner)) > 1e-3 {
+		t.Error("interior gradient should be uniform on a ramp")
+	}
+	// A flat image has zero magnitude.
+	flat := tensor.New(16, 16)
+	flat.Fill(100)
+	for _, v := range hg.Apply(flat).Data {
+		if v != 0 {
+			t.Fatal("flat image has nonzero gradient")
+		}
+	}
+}
+
+func TestHoGCellHistograms(t *testing.T) {
+	hg := NewHoGEdge()
+	img := ramp(16, 16) // pure horizontal gradient -> orientation 0
+	hist, err := hg.CellHistograms(img, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hist.ShapeOf.Equal(tensor.Shape{2, 2, 9}) {
+		t.Fatalf("histogram shape = %v", hist.ShapeOf)
+	}
+	// The gradient of a horizontal ramp points along +x: orientation 0
+	// (bin 0) must dominate every cell.
+	for cyx := 0; cyx < 4; cyx++ {
+		cell := hist.Data[cyx*9 : (cyx+1)*9]
+		for b := 1; b < 9; b++ {
+			if cell[b] > cell[0] {
+				t.Errorf("cell %d: bin %d (%g) exceeds bin 0 (%g)", cyx, b, cell[b], cell[0])
+			}
+		}
+	}
+	if _, err := hg.CellHistograms(img, 0); err == nil {
+		t.Error("cell 0 accepted")
+	}
+	if _, err := hg.CellHistograms(img, 64); err == nil {
+		t.Error("cell larger than image accepted")
+	}
+}
+
+func TestHarrisCornerResponse(t *testing.T) {
+	hc := NewHarrisCorner()
+	// Bright square in the top-left quadrant on a dark background.
+	img := tensor.New(32, 32)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			img.Set(255, y, x)
+		}
+	}
+	resp := hc.Apply(img)
+	corner := resp.At(15, 15) // the square's inner corner
+	edge := resp.At(15, 8)    // middle of an edge
+	flat := resp.At(24, 24)   // background
+	if corner <= 0 {
+		t.Fatalf("corner response = %g, want positive", corner)
+	}
+	if corner <= edge {
+		t.Errorf("corner (%g) should dominate edge (%g)", corner, edge)
+	}
+	if math.Abs(float64(flat)) > float64(corner)/100 {
+		t.Errorf("flat response %g not negligible vs corner %g", flat, corner)
+	}
+	// Edges yield negative responses (det ≈ 0, trace > 0).
+	if edge >= 0 {
+		t.Errorf("edge response = %g, want negative", edge)
+	}
+}
+
+func TestPipelineDurationModel(t *testing.T) {
+	p := DefaultPipeline()
+	tm, _ := NewGammaToneMap(0.8)
+	d, _ := NewDenoise(1.2)
+	p.Add(tm).Add(d).Add(NewHarrisCorner())
+	if p.Stages() != 3 {
+		t.Fatal("stages")
+	}
+	h, w := 224, 224
+	dur, err := p.Duration(h, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 224*224 pixels + fill (1+5+5 lines) ≈ 52640 cycles at 600 MHz
+	// ≈ 88 µs: the point of the SIPP — preprocessing is essentially
+	// free next to a ~96 ms inference.
+	want := time.Duration(float64(h*w+(1+5+5)*w) / 600e6 * float64(time.Second))
+	if dur != want {
+		t.Errorf("duration = %v, want %v", dur, want)
+	}
+	if dur > 200*time.Microsecond {
+		t.Errorf("SIPP preprocessing %v should be ~100 µs", dur)
+	}
+}
+
+func TestPipelineCMXLimit(t *testing.T) {
+	p, err := NewPipeline(600e6, 4096) // absurdly small CMX
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := NewDenoise(1.2)
+	p.Add(d)
+	if _, err := p.Duration(224, 1024); err == nil {
+		t.Error("oversized line buffers accepted")
+	}
+	// Narrow images fit.
+	if _, err := p.Duration(224, 64); err != nil {
+		t.Errorf("narrow image rejected: %v", err)
+	}
+}
+
+func TestPipelineErrors(t *testing.T) {
+	if _, err := NewPipeline(0, 1); err == nil {
+		t.Error("zero clock accepted")
+	}
+	p := DefaultPipeline()
+	if _, err := p.Duration(8, 8); err == nil {
+		t.Error("empty pipeline accepted")
+	}
+	tm, _ := NewGammaToneMap(1)
+	p.Add(tm)
+	if _, err := p.Duration(0, 8); err == nil {
+		t.Error("zero-height image accepted")
+	}
+	if _, _, err := p.Run(tensor.New(3, 4, 4)); err == nil {
+		t.Error("3-D input accepted")
+	}
+}
+
+func TestPipelineRunFunctional(t *testing.T) {
+	p := DefaultPipeline()
+	tm, _ := NewGammaToneMap(1.0)
+	d, _ := NewDenoise(1.0)
+	p.Add(tm).Add(d)
+	img := noisy(32, 32, 9, 15)
+	out, dur, err := p.Run(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dur <= 0 {
+		t.Error("no duration")
+	}
+	if !out.ShapeOf.Equal(img.ShapeOf) {
+		t.Errorf("shape changed: %v", out.ShapeOf)
+	}
+	if variance(out) >= variance(img) {
+		t.Error("pipeline did not smooth the image")
+	}
+}
+
+func TestLuma(t *testing.T) {
+	rgb := tensor.New(3, 2, 2)
+	// Pure white pixel 0, pure red pixel 1.
+	rgb.Set(255, 0, 0, 0)
+	rgb.Set(255, 1, 0, 0)
+	rgb.Set(255, 2, 0, 0)
+	rgb.Set(255, 0, 0, 1)
+	y, err := Luma(rgb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(y.At(0, 0))-255) > 0.1 {
+		t.Errorf("white luma = %g", y.At(0, 0))
+	}
+	if math.Abs(float64(y.At(0, 1))-0.299*255) > 0.1 {
+		t.Errorf("red luma = %g, want %g", y.At(0, 1), 0.299*255)
+	}
+	if _, err := Luma(tensor.New(2, 2)); err == nil {
+		t.Error("2-D input accepted")
+	}
+	if _, err := Luma(tensor.New(1, 2, 2)); err == nil {
+		t.Error("single-channel input accepted")
+	}
+}
+
+func TestKernelMetadata(t *testing.T) {
+	tm, _ := NewGammaToneMap(1)
+	d, _ := NewDenoise(1)
+	for _, tc := range []struct {
+		k      Kernel
+		name   string
+		window int
+	}{
+		{tm, "tonemap", 1},
+		{d, "denoise", 5},
+		{NewHoGEdge(), "hog-edge", 3},
+		{NewHarrisCorner(), "harris", 5},
+	} {
+		if tc.k.Name() != tc.name || tc.k.Window() != tc.window {
+			t.Errorf("kernel %T metadata: %s/%d", tc.k, tc.k.Name(), tc.k.Window())
+		}
+	}
+}

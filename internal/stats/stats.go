@@ -1,0 +1,247 @@
+// Package stats provides the small set of descriptive statistics the
+// experiment harness needs: per-subset means with standard-deviation
+// error bars (every figure in the paper shows them), running
+// accumulators, histograms and a least-squares line used for the
+// Fig. 8b throughput projection.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the descriptive statistics of one sample set.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs. It panics on an empty input:
+// every call site controls its sample sizes, so an empty set is a bug.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: Summarize of empty sample")
+	}
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	med := sorted[len(sorted)/2]
+	if len(sorted)%2 == 0 {
+		med = (sorted[len(sorted)/2-1] + sorted[len(sorted)/2]) / 2
+	}
+	return Summary{
+		N:      r.N,
+		Mean:   r.Mean(),
+		Std:    r.Std(),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Median: med,
+	}
+}
+
+// String renders the summary as "mean ± std" the way the paper's error
+// bars do.
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean, s.Std, s.N)
+}
+
+// Running is a numerically stable (Welford) streaming accumulator.
+// The zero value is ready to use.
+type Running struct {
+	N    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds x into the accumulator.
+func (r *Running) Add(x float64) {
+	if r.N == 0 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	r.N++
+	d := x - r.mean
+	r.mean += d / float64(r.N)
+	r.m2 += d * (x - r.mean)
+}
+
+// Mean returns the running mean (0 for an empty accumulator).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Var returns the sample variance (n-1), or 0 when N < 2.
+func (r *Running) Var() float64 {
+	if r.N < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.N-1)
+}
+
+// Std returns the sample standard deviation.
+func (r *Running) Std() float64 { return math.Sqrt(r.Var()) }
+
+// Min returns the smallest value seen (0 for an empty accumulator).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest value seen (0 for an empty accumulator).
+func (r *Running) Max() float64 { return r.max }
+
+// Merge folds another accumulator into r (parallel reduction).
+func (r *Running) Merge(o Running) {
+	if o.N == 0 {
+		return
+	}
+	if r.N == 0 {
+		*r = o
+		return
+	}
+	n1, n2 := float64(r.N), float64(o.N)
+	d := o.mean - r.mean
+	tot := n1 + n2
+	r.mean += d * n2 / tot
+	r.m2 += o.m2 + d*d*n1*n2/tot
+	r.N += o.N
+	if o.min < r.min {
+		r.min = o.min
+	}
+	if o.max > r.max {
+		r.max = o.max
+	}
+}
+
+// Mean is a convenience over Summarize for one-off use.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Line is a least-squares fit y = Slope*x + Intercept.
+type Line struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// FitLine computes the ordinary least-squares line through (xs, ys).
+// It panics when fewer than two points are supplied or the lengths
+// differ, since the projection code always controls its inputs.
+func FitLine(xs, ys []float64) Line {
+	if len(xs) != len(ys) {
+		panic("stats: FitLine length mismatch")
+	}
+	if len(xs) < 2 {
+		panic("stats: FitLine needs at least two points")
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		panic("stats: FitLine with degenerate x values")
+	}
+	slope := (n*sxy - sx*sy) / den
+	inter := (sy - slope*sx) / n
+	var ssRes, ssTot float64
+	my := sy / n
+	for i := range xs {
+		pred := slope*xs[i] + inter
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - my) * (ys[i] - my)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return Line{Slope: slope, Intercept: inter, R2: r2}
+}
+
+// At evaluates the line at x.
+func (l Line) At(x float64) float64 { return l.Slope*x + l.Intercept }
+
+// Histogram is a fixed-width bucket histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+	under   int
+	over    int
+	n       int
+}
+
+// NewHistogram creates a histogram with nb equal buckets over [lo, hi).
+func NewHistogram(lo, hi float64, nb int) *Histogram {
+	if hi <= lo || nb <= 0 {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, nb)}
+}
+
+// Add records x, counting out-of-range values separately.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	switch {
+	case x < h.Lo:
+		h.under++
+	case x >= h.Hi:
+		h.over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+		if i == len(h.Buckets) { // guard FP edge at Hi
+			i--
+		}
+		h.Buckets[i]++
+	}
+}
+
+// N returns the number of samples recorded, including out-of-range.
+func (h *Histogram) N() int { return h.n }
+
+// Outliers returns the counts below Lo and at/above Hi.
+func (h *Histogram) Outliers() (under, over int) { return h.under, h.over }
+
+// Quantile returns an approximate q-quantile (0 <= q <= 1) from the
+// bucket midpoints. Out-of-range samples clamp to the bounds.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return h.Lo
+	}
+	target := int(q * float64(h.n))
+	seen := h.under
+	if seen > target {
+		return h.Lo
+	}
+	w := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	for i, c := range h.Buckets {
+		seen += c
+		if seen > target {
+			return h.Lo + (float64(i)+0.5)*w
+		}
+	}
+	return h.Hi
+}

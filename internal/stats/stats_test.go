@@ -1,0 +1,241 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Errorf("N = %d", s.N)
+	}
+	if !almostEq(s.Mean, 5, 1e-12) {
+		t.Errorf("Mean = %g, want 5", s.Mean)
+	}
+	// Sample std with n-1: variance = 32/7.
+	if !almostEq(s.Std, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("Std = %g", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %g/%g", s.Min, s.Max)
+	}
+	if !almostEq(s.Median, 4.5, 1e-12) {
+		t.Errorf("Median = %g, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeOddMedian(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.Median != 2 {
+		t.Errorf("Median = %g, want 2", s.Median)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on empty sample")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestRunningMatchesBatch(t *testing.T) {
+	xs := []float64{1.5, -2, 7, 3.25, 0, 11, -4.5}
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	s := Summarize(xs)
+	if !almostEq(r.Mean(), s.Mean, 1e-12) || !almostEq(r.Std(), s.Std, 1e-12) {
+		t.Errorf("running %g/%g vs batch %g/%g", r.Mean(), r.Std(), s.Mean, s.Std)
+	}
+	if r.Min() != -4.5 || r.Max() != 11 {
+		t.Errorf("running min/max = %g/%g", r.Min(), r.Max())
+	}
+}
+
+func TestRunningSingleValue(t *testing.T) {
+	var r Running
+	r.Add(42)
+	if r.Mean() != 42 || r.Std() != 0 || r.Var() != 0 {
+		t.Errorf("single value stats wrong: %g %g", r.Mean(), r.Std())
+	}
+}
+
+func TestRunningMerge(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	var whole, a, b Running
+	for i, x := range xs {
+		whole.Add(x)
+		if i < 4 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.N != whole.N || !almostEq(a.Mean(), whole.Mean(), 1e-12) || !almostEq(a.Std(), whole.Std(), 1e-12) {
+		t.Errorf("merge diverges: %v vs %v", a, whole)
+	}
+	var empty Running
+	empty.Merge(a)
+	if !almostEq(empty.Mean(), whole.Mean(), 1e-12) {
+		t.Error("merge into empty lost data")
+	}
+	before := a
+	var empty2 Running
+	a.Merge(empty2)
+	if a != before {
+		t.Error("merging an empty accumulator changed state")
+	}
+}
+
+// Property: merging any split of a sample equals accumulating the whole.
+func TestQuickMergeEqualsWhole(t *testing.T) {
+	f := func(raw []float64, cut uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				continue
+			}
+			xs = append(xs, v)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		k := int(cut) % (len(xs) + 1)
+		var whole, a, b Running
+		for i, x := range xs {
+			whole.Add(x)
+			if i < k {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(b)
+		tol := 1e-9 * (1 + math.Abs(whole.Mean()))
+		return a.N == whole.N && almostEq(a.Mean(), whole.Mean(), tol) &&
+			almostEq(a.Std(), whole.Std(), 1e-6*(1+whole.Std()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 9.5*x + 1.25
+	}
+	l := FitLine(xs, ys)
+	if !almostEq(l.Slope, 9.5, 1e-9) || !almostEq(l.Intercept, 1.25, 1e-9) {
+		t.Errorf("fit = %+v", l)
+	}
+	if !almostEq(l.R2, 1, 1e-12) {
+		t.Errorf("R2 = %g, want 1", l.R2)
+	}
+	if !almostEq(l.At(32), 9.5*32+1.25, 1e-9) {
+		t.Errorf("At(32) = %g", l.At(32))
+	}
+}
+
+func TestFitLineNoisy(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{1.1, 1.9, 3.2, 3.8}
+	l := FitLine(xs, ys)
+	if l.Slope <= 0.8 || l.Slope >= 1.2 {
+		t.Errorf("Slope = %g, want near 1", l.Slope)
+	}
+	if l.R2 <= 0.95 || l.R2 > 1 {
+		t.Errorf("R2 = %g", l.R2)
+	}
+}
+
+func TestFitLinePanics(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		xs, ys []float64
+	}{
+		{"mismatch", []float64{1, 2}, []float64{1}},
+		{"too-few", []float64{1}, []float64{1}},
+		{"degenerate", []float64{3, 3}, []float64{1, 2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			FitLine(tc.xs, tc.ys)
+		})
+	}
+}
+
+func TestMeanConvenience(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("Mean wrong")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i%10) + 0.5)
+	}
+	for i, c := range h.Buckets {
+		if c != 10 {
+			t.Errorf("bucket %d = %d, want 10", i, c)
+		}
+	}
+	h.Add(-1)
+	h.Add(10) // boundary Hi counts as over
+	h.Add(11)
+	u, o := h.Outliers()
+	if u != 1 || o != 2 {
+		t.Errorf("outliers = %d/%d, want 1/2", u, o)
+	}
+	if h.N() != 103 {
+		t.Errorf("N = %d", h.N())
+	}
+	med := h.Quantile(0.5)
+	if med < 4 || med > 6 {
+		t.Errorf("median estimate = %g", med)
+	}
+}
+
+func TestHistogramInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for hi <= lo")
+		}
+	}()
+	NewHistogram(1, 1, 4)
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be Lo")
+	}
+	h.Add(0.9)
+	if q := h.Quantile(0); q <= 0 || q >= 1 {
+		t.Errorf("q0 = %g", q)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if got := s.String(); got == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,55 @@
+package tensor
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Deterministic weight initializers. The paper uses a pre-trained BVLC
+// GoogLeNet; real weights are unavailable offline (see DESIGN.md §2),
+// and the performance experiments only depend on layer geometry, so
+// the full-size network carries reproducible pseudo-random weights
+// initialized the way the original was (Xavier/MSRA-style fan-in
+// scaling keeps activations in a realistic numeric range, which
+// matters for the FP16 path: badly scaled weights would overflow
+// halves and distort the Fig. 7 comparison).
+
+// FillXavier initializes t with zero-mean Gaussian weights of variance
+// 1/fanIn (Glorot/Caffe "xavier" filler with fan-in averaging).
+func (t *T) FillXavier(src *rng.Source, fanIn int) {
+	if fanIn <= 0 {
+		panic("tensor: FillXavier with non-positive fanIn")
+	}
+	std := float32(math.Sqrt(1.0 / float64(fanIn)))
+	for i := range t.Data {
+		t.Data[i] = src.NormFloat32() * std
+	}
+}
+
+// FillMSRA initializes t with He-style Gaussian weights of variance
+// 2/fanIn, appropriate ahead of ReLU activations.
+func (t *T) FillMSRA(src *rng.Source, fanIn int) {
+	if fanIn <= 0 {
+		panic("tensor: FillMSRA with non-positive fanIn")
+	}
+	std := float32(math.Sqrt(2.0 / float64(fanIn)))
+	for i := range t.Data {
+		t.Data[i] = src.NormFloat32() * std
+	}
+}
+
+// FillUniform initializes t with uniform values in [lo, hi).
+func (t *T) FillUniform(src *rng.Source, lo, hi float32) {
+	for i := range t.Data {
+		t.Data[i] = lo + (hi-lo)*src.Float32()
+	}
+}
+
+// FillNormal initializes t with Gaussian values of the given mean and
+// standard deviation.
+func (t *T) FillNormal(src *rng.Source, mean, std float32) {
+	for i := range t.Data {
+		t.Data[i] = mean + std*src.NormFloat32()
+	}
+}

@@ -1,0 +1,214 @@
+// Package usb models the host I/O fabric the NCS devices hang off: a
+// USB 3.0 root controller, optional hubs, and per-device links. The
+// paper's testbed (Fig. 5) connects 6 sticks through two USB 3.0 hubs
+// and 2 sticks directly to motherboard ports; the shared hub uplinks
+// are where the "small penalty ... due to the data transferring
+// involved" comes from, and this model reproduces that contention.
+//
+// Transfers are store-and-forward in fixed-size chunks: each chunk
+// crosses the device link, then the hub uplink (if any), then the root
+// controller, holding one hop at a time. Chunking lets concurrent
+// transfers interleave fairly on shared hops, approximating the
+// round-robin arbitration of real bulk traffic while keeping the
+// simulation deterministic.
+package usb
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Config sets fabric bandwidths and protocol overheads. Bandwidths are
+// bytes per second of effective bulk throughput (well below the 5 Gb/s
+// line rate, as in practice).
+type Config struct {
+	// RootBandwidth is the host controller's aggregate throughput.
+	RootBandwidth float64
+	// HubBandwidth is each hub's uplink throughput.
+	HubBandwidth float64
+	// DeviceBandwidth caps a single device's link (the NCS's USB
+	// implementation, not the cable, is the limit).
+	DeviceBandwidth float64
+	// ChunkBytes is the store-and-forward granularity.
+	ChunkBytes int
+	// SetupLatency is the fixed per-transfer cost (driver submit, bulk
+	// protocol handshake).
+	SetupLatency time.Duration
+}
+
+// DefaultConfig matches the paper's testbed hardware: a USB 3.0 xHCI
+// root, Sandstrøm USB 3.0 hubs, and NCS sticks whose practical bulk
+// throughput tops out near 110 MB/s.
+func DefaultConfig() Config {
+	return Config{
+		RootBandwidth:   400e6,
+		HubBandwidth:    300e6,
+		DeviceBandwidth: 110e6,
+		ChunkBytes:      128 << 10,
+		SetupLatency:    200 * time.Microsecond,
+	}
+}
+
+func (c Config) validate() error {
+	if c.RootBandwidth <= 0 || c.HubBandwidth <= 0 || c.DeviceBandwidth <= 0 {
+		return fmt.Errorf("usb: non-positive bandwidth in %+v", c)
+	}
+	if c.ChunkBytes <= 0 {
+		return fmt.Errorf("usb: non-positive chunk size %d", c.ChunkBytes)
+	}
+	if c.SetupLatency < 0 {
+		return fmt.Errorf("usb: negative setup latency %v", c.SetupLatency)
+	}
+	return nil
+}
+
+// hop is one shared link along a transfer path.
+type hop struct {
+	res *sim.Resource
+	bw  float64
+}
+
+// Fabric is the assembled topology.
+type Fabric struct {
+	env  *sim.Env
+	cfg  Config
+	root hop
+	hubs []hop
+}
+
+// NewFabric creates a fabric with the given config.
+func NewFabric(env *sim.Env, cfg Config) (*Fabric, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Fabric{
+		env:  env,
+		cfg:  cfg,
+		root: hop{res: env.NewResource("usb/root", 1), bw: cfg.RootBandwidth},
+	}, nil
+}
+
+// AddHub adds a hub and returns its index.
+func (f *Fabric) AddHub() int {
+	id := len(f.hubs)
+	f.hubs = append(f.hubs, hop{
+		res: f.env.NewResource(fmt.Sprintf("usb/hub%d", id), 1),
+		bw:  f.cfg.HubBandwidth,
+	})
+	return id
+}
+
+// Hubs returns the number of hubs.
+func (f *Fabric) Hubs() int { return len(f.hubs) }
+
+// Port is one attached device's path to the host.
+type Port struct {
+	fabric *Fabric
+	name   string
+	path   []hop // device link, [hub], root — in transfer order
+	// bytesMoved accumulates traffic for reporting.
+	bytesMoved int64
+}
+
+// AttachDevice attaches a device either behind hub (0 <= hub <
+// Hubs()) or directly to the root (hub == -1), as in Fig. 5.
+func (f *Fabric) AttachDevice(name string, hub int) (*Port, error) {
+	dev := hop{res: f.env.NewResource("usb/dev/"+name, 1), bw: f.cfg.DeviceBandwidth}
+	path := []hop{dev}
+	switch {
+	case hub == -1:
+		// direct to root
+	case hub >= 0 && hub < len(f.hubs):
+		path = append(path, f.hubs[hub])
+	default:
+		return nil, fmt.Errorf("usb: hub %d does not exist (have %d)", hub, len(f.hubs))
+	}
+	path = append(path, f.root)
+	return &Port{fabric: f, name: name, path: path}, nil
+}
+
+// Name returns the port's device name.
+func (p *Port) Name() string { return p.name }
+
+// BytesMoved returns the total traffic through this port.
+func (p *Port) BytesMoved() int64 { return p.bytesMoved }
+
+// Transfer moves n bytes between host and device, blocking proc in
+// virtual time for the full duration (bulk transfers are symmetric
+// enough that direction is not modelled). Zero-byte transfers still
+// pay the setup latency (a real command/status round trip).
+func (p *Port) Transfer(proc *sim.Proc, n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("usb: negative transfer size %d", n))
+	}
+	proc.Sleep(p.fabric.cfg.SetupLatency)
+	chunk := p.fabric.cfg.ChunkBytes
+	for moved := 0; moved < n; moved += chunk {
+		sz := chunk
+		if n-moved < sz {
+			sz = n - moved
+		}
+		for _, h := range p.path {
+			h.res.Acquire(proc)
+			proc.Sleep(durationFor(sz, h.bw))
+			h.res.Release()
+		}
+	}
+	p.bytesMoved += int64(n)
+}
+
+// MinDuration estimates the uncontended time for an n-byte transfer;
+// experiments use it to report overhead attribution.
+func (p *Port) MinDuration(n int) time.Duration {
+	d := p.fabric.cfg.SetupLatency
+	chunk := p.fabric.cfg.ChunkBytes
+	for moved := 0; moved < n; moved += chunk {
+		sz := chunk
+		if n-moved < sz {
+			sz = n - moved
+		}
+		for _, h := range p.path {
+			d += durationFor(sz, h.bw)
+		}
+	}
+	return d
+}
+
+func durationFor(bytes int, bw float64) time.Duration {
+	return time.Duration(float64(bytes) / bw * float64(time.Second))
+}
+
+// Testbed assembles the paper's Fig. 5 topology for n devices: the
+// first 2 devices use motherboard ports, the rest spread across two
+// hubs (3+3 at n=8). For n > 8 additional devices keep alternating
+// between the two hubs (used by the Fig. 8b projection run).
+func Testbed(env *sim.Env, cfg Config, n int) (*Fabric, []*Port, error) {
+	f, err := NewFabric(env, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("usb: testbed needs at least one device, got %d", n)
+	}
+	h0 := f.AddHub()
+	h1 := f.AddHub()
+	ports := make([]*Port, n)
+	for i := 0; i < n; i++ {
+		hub := -1
+		if i >= 2 { // devices 2.. go behind hubs, alternating
+			if (i-2)%2 == 0 {
+				hub = h0
+			} else {
+				hub = h1
+			}
+		}
+		p, err := f.AttachDevice(fmt.Sprintf("ncs%d", i), hub)
+		if err != nil {
+			return nil, nil, err
+		}
+		ports[i] = p
+	}
+	return f, ports, nil
+}

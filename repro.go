@@ -1,0 +1,308 @@
+// Package repro is a Go reproduction of "Exploring the Vision
+// Processing Unit as Co-processor for Inference" (Rivas-Gomez, Peña,
+// Moloney, Laure, Markidis — IPPS 2018): the NCSw inference framework,
+// a calibrated discrete-event model of the Movidius Myriad 2 VPU /
+// Intel Neural Compute Stick platform it runs on, the GoogLeNet
+// workload, CPU and GPU baselines, and the full experiment harness
+// that regenerates every figure of the paper's evaluation.
+//
+// This file is the public facade: it re-exports the pieces a
+// downstream user composes, so typical programs only import this
+// package. The building blocks live in internal packages (one per
+// subsystem; see DESIGN.md for the inventory).
+//
+// A minimal classification session, in the style of the paper's
+// Listing 1:
+//
+//	env := repro.NewEnv()
+//	devices, _ := repro.NewNCSTestbed(env, 1, repro.Seed(1))
+//	net := repro.NewMicroGoogLeNet(repro.DefaultMicroConfig(), repro.Seed(42))
+//	blob, _ := repro.CompileGraph(net)
+//	env.Process("host", func(p *repro.Proc) {
+//		dev := devices[0]
+//		dev.Open(p)
+//		graph, _ := dev.AllocateGraph(p, blob, repro.GraphOptions{Functional: true})
+//		graph.LoadTensor(p, img, nil) // returns once queued; host is free
+//		res, _ := graph.GetResult(p)  // blocks until the inference lands
+//		dev.Close(p)
+//		_ = res
+//	})
+//	env.Run()
+//
+// Performance numbers come from simulated (virtual) time, so
+// experiments are deterministic and machine-independent; functional
+// inference is real arithmetic (FP32 or emulated FP16).
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/devsim"
+	"repro/internal/graphfile"
+	"repro/internal/imagenet"
+	"repro/internal/ncs"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+	"repro/internal/usb"
+	"repro/internal/vpu"
+)
+
+// Simulation kernel.
+type (
+	// Env is a discrete-event simulation universe.
+	Env = sim.Env
+	// Proc is a simulated process handle.
+	Proc = sim.Proc
+)
+
+// NewEnv creates an empty simulation at time zero.
+func NewEnv() *Env { return sim.NewEnv() }
+
+// Randomness.
+
+// Rand is the deterministic random source seeding every stochastic
+// component (weights, datasets, timing jitter).
+type Rand = rng.Source
+
+// Seed returns a deterministic random source.
+func Seed(seed uint64) *Rand { return rng.New(seed) }
+
+// Tensors and networks.
+type (
+	// Tensor is a dense NCHW float32 tensor.
+	Tensor = tensor.T
+	// Shape is a tensor shape.
+	Shape = tensor.Shape
+	// Graph is an inference network.
+	Graph = nn.Graph
+	// Precision selects FP32, FP16 or FP16-strict execution.
+	Precision = nn.Precision
+	// MicroConfig parameterizes the scaled-down inception network.
+	MicroConfig = nn.MicroConfig
+)
+
+// Precision modes.
+const (
+	FP32       = nn.FP32
+	FP16       = nn.FP16
+	FP16Strict = nn.FP16Strict
+)
+
+// NewTensor allocates a zero tensor.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
+
+// NewGoogLeNet builds the full BVLC GoogLeNet (Inception-v1)
+// architecture with deterministic pseudo-random weights.
+func NewGoogLeNet(src *Rand) *Graph { return nn.NewGoogLeNet(src) }
+
+// NewMicroGoogLeNet builds the scaled inception network used by the
+// accuracy experiments.
+func NewMicroGoogLeNet(cfg MicroConfig, src *Rand) *Graph { return nn.NewMicroGoogLeNet(cfg, src) }
+
+// DefaultMicroConfig returns the experiment defaults (100 classes,
+// 32×32 input).
+func DefaultMicroConfig() MicroConfig { return nn.DefaultMicroConfig() }
+
+// DefaultClassifierTemperature is the softmax logit scale the accuracy
+// experiments were calibrated with (see internal/bench).
+const DefaultClassifierTemperature = 150.0
+
+// CalibratePrototypeClassifier rewrites the micro network's classifier
+// so it performs nearest-prototype classification over the dataset's
+// class prototypes — the reproduction's stand-in for loading
+// pre-trained BVLC weights (DESIGN.md §2). Call it once after
+// NewMicroGoogLeNet and before CompileGraph.
+func CalibratePrototypeClassifier(g *Graph, ds *Dataset, temperature float32) error {
+	return nn.CalibrateClassifier(g, nn.MicroClassifierName, nn.MicroPoolName,
+		ds.PreprocessedPrototypes(), temperature)
+}
+
+// CompileGraph serializes a network into an NCS graph blob
+// (weights converted to FP16), the analogue of mvNCCompile.
+func CompileGraph(g *Graph) ([]byte, error) { return graphfile.Compile(g) }
+
+// ParseGraph reconstructs a network from a compiled blob.
+func ParseGraph(blob []byte) (*Graph, error) {
+	g, _, err := graphfile.Parse(blob)
+	return g, err
+}
+
+// Neural Compute Stick devices (the NCAPI surface).
+type (
+	// NCSDevice is one simulated Neural Compute Stick.
+	NCSDevice = ncs.Device
+	// NCSGraph is a network allocated on a stick.
+	NCSGraph = ncs.Graph
+	// NCSResult is one completed inference.
+	NCSResult = ncs.Result
+	// GraphOptions configures AllocateGraph.
+	GraphOptions = ncs.GraphOptions
+	// NCSConfig models the stick around the VPU.
+	NCSConfig = ncs.Config
+	// VPUConfig models the Myriad 2 chip.
+	VPUConfig = vpu.Config
+)
+
+// DefaultNCSConfig returns the calibrated stick model.
+func DefaultNCSConfig() NCSConfig { return ncs.DefaultConfig() }
+
+// DefaultVPUConfig returns the calibrated Myriad 2 model.
+func DefaultVPUConfig() VPUConfig { return vpu.DefaultConfig() }
+
+// NewNCSTestbed assembles n Neural Compute Sticks on the paper's
+// Fig. 5 USB topology (two sticks on motherboard ports, the rest
+// behind two USB 3.0 hubs) inside env.
+func NewNCSTestbed(env *Env, n int, seed *Rand) ([]*NCSDevice, error) {
+	_, ports, err := usb.Testbed(env, usb.DefaultConfig(), n)
+	if err != nil {
+		return nil, err
+	}
+	devices := make([]*NCSDevice, n)
+	for i, port := range ports {
+		d, err := ncs.NewDevice(env, port.Name(), port, ncs.DefaultConfig(), seed)
+		if err != nil {
+			return nil, err
+		}
+		devices[i] = d
+	}
+	return devices, nil
+}
+
+// The NCSw framework (sources × targets).
+type (
+	// Item is one unit of classification work.
+	Item = core.Item
+	// Source produces items.
+	Source = core.Source
+	// Result is one completed inference with timing and prediction.
+	Result = core.Result
+	// Target consumes a source on one device configuration.
+	Target = core.Target
+	// Job tracks a running target.
+	Job = core.Job
+	// Collector aggregates results.
+	Collector = core.Collector
+	// VPUOptions configures the multi-VPU target.
+	VPUOptions = core.VPUOptions
+	// BatchTarget is a Caffe-style CPU/GPU batch device.
+	BatchTarget = core.BatchTarget
+	// VPUTarget is the parallel multi-VPU pipeline.
+	VPUTarget = core.VPUTarget
+	// StreamSource is the MPI-stream-style push source.
+	StreamSource = core.StreamSource
+	// FolderSource serves .ppm images from a directory.
+	FolderSource = core.FolderSource
+	// Scheduling selects round-robin or dynamic dispatch.
+	Scheduling = core.Scheduling
+)
+
+// Scheduling policies.
+const (
+	RoundRobin = core.RoundRobin
+	Dynamic    = core.Dynamic
+)
+
+// NewCollector creates a result collector; retain keeps every result.
+func NewCollector(retain bool) *Collector { return core.NewCollector(retain) }
+
+// DefaultVPUOptions returns the paper-faithful multi-VPU settings.
+func DefaultVPUOptions() VPUOptions { return core.DefaultVPUOptions() }
+
+// NewVPUTarget builds the parallel multi-VPU target over devices.
+func NewVPUTarget(devices []*NCSDevice, blob []byte, opts VPUOptions) (*VPUTarget, error) {
+	return core.NewVPUTarget(devices, blob, opts)
+}
+
+// NewCPUTarget builds the Caffe-MKL-style CPU target for the graph's
+// workload at the given batch size.
+func NewCPUTarget(g *Graph, batch int, functional bool, seed *Rand) (*BatchTarget, error) {
+	eng, err := devsim.NewCPU(devsim.DefaultCPUConfig(), devsim.WorkloadOf(g), seed)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewCPUTarget(eng, g, batch, functional)
+}
+
+// NewGPUTarget builds the Caffe-cuDNN-style GPU target.
+func NewGPUTarget(g *Graph, batch int, functional bool, seed *Rand) (*BatchTarget, error) {
+	eng, err := devsim.NewGPU(devsim.DefaultGPUConfig(), devsim.WorkloadOf(g), seed)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewGPUTarget(eng, g, batch, functional)
+}
+
+// NewDatasetSource serves images [lo, hi) of a synthetic dataset.
+func NewDatasetSource(ds *Dataset, lo, hi int, functional bool) (Source, error) {
+	return core.NewDatasetSource(ds, lo, hi, functional)
+}
+
+// NewStreamSource creates a push-style source with the given buffer
+// capacity (0 = unbounded).
+func NewStreamSource(env *Env, capacity int) *StreamSource {
+	return core.NewStreamSource(env, capacity)
+}
+
+// NewFolderSource loads .ppm images (with optional .xml annotations)
+// from a directory.
+func NewFolderSource(dir string, size int, means []float32, labelOf func(wnid string) (int, bool)) (*FolderSource, error) {
+	return core.NewFolderSource(dir, size, means, labelOf)
+}
+
+// Dataset: the synthetic ILSVRC stand-in.
+type (
+	// Dataset is the synthetic validation set.
+	Dataset = imagenet.Dataset
+	// DatasetConfig parameterizes the dataset.
+	DatasetConfig = imagenet.Config
+)
+
+// DefaultDatasetConfig mirrors the paper's 50 000-image, 5-subset
+// evaluation shape at the calibrated noise level.
+func DefaultDatasetConfig() DatasetConfig { return imagenet.DefaultConfig() }
+
+// NewDataset generates a synthetic validation dataset.
+func NewDataset(cfg DatasetConfig) (*Dataset, error) { return imagenet.New(cfg) }
+
+// Timeline tracing (Fig. 4).
+type Timeline = trace.Timeline
+
+// NewTimeline returns an enabled execution timeline.
+func NewTimeline() *Timeline { return trace.New() }
+
+// Experiments.
+type (
+	// BenchConfig scales the experiment harness.
+	BenchConfig = bench.Config
+	// BenchTable is one regenerated figure/table.
+	BenchTable = bench.Table
+	// Benchmarks is the experiment harness regenerating the paper's
+	// figures.
+	Benchmarks = bench.Harness
+)
+
+// DefaultBenchConfig returns the paper-scale experiment configuration.
+func DefaultBenchConfig() BenchConfig { return bench.DefaultConfig() }
+
+// QuickBenchConfig returns a CI-sized experiment configuration.
+func QuickBenchConfig() BenchConfig { return bench.QuickConfig() }
+
+// NewBenchmarks builds the experiment harness.
+func NewBenchmarks(cfg BenchConfig) (*Benchmarks, error) { return bench.NewHarness(cfg) }
+
+// ExperimentIDs lists the regenerable artefacts.
+func ExperimentIDs() []string { return bench.ExperimentIDs() }
+
+// Version identifies this reproduction.
+const Version = "1.0.0"
+
+// About returns a one-line description.
+func About() string {
+	return fmt.Sprintf("ncsw-go %s — reproduction of Rivas-Gomez et al., "+
+		"\"Exploring the Vision Processing Unit as Co-processor for Inference\" (IPPS 2018)", Version)
+}
