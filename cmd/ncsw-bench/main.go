@@ -1,7 +1,7 @@
 // Command ncsw-bench regenerates the paper's evaluation artefacts:
 // every figure of §IV–§V, the headline-claim summary, and the two
 // beyond-the-paper ablations. Output is a paper-vs-measured table per
-// artefact.
+// artefact. It drives the public repro facade end to end.
 //
 // Usage:
 //
@@ -9,6 +9,7 @@
 //	ncsw-bench -full                   # paper scale (50 000 images)
 //	ncsw-bench -experiment fig6a       # one artefact
 //	ncsw-bench -markdown > tables.md   # EXPERIMENTS.md fragments
+//	ncsw-bench -hetero                 # device-group session demo
 package main
 
 import (
@@ -19,7 +20,7 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/bench"
+	"repro"
 )
 
 func main() {
@@ -27,17 +28,28 @@ func main() {
 	log.SetPrefix("ncsw-bench: ")
 
 	experiment := flag.String("experiment", "all",
-		"experiment to run: all, "+strings.Join(bench.ExperimentIDs(), ", "))
+		"experiment to run: all, "+strings.Join(repro.ExperimentIDs(), ", "))
 	full := flag.Bool("full", false, "paper-scale workload (10000 images per subset)")
 	images := flag.Int("images", 0, "override images per subset for performance runs")
 	funcImages := flag.Int("functional-images", 0, "override images per subset for accuracy runs")
 	subsets := flag.Int("subsets", 0, "override subset count")
 	markdown := flag.Bool("markdown", false, "emit GitHub markdown instead of aligned text")
+	hetero := flag.Bool("hetero", false,
+		"run the heterogeneous device-group session (CPU + GPU + 4 VPUs) instead of the figures")
 	flag.Parse()
 
-	cfg := bench.QuickConfig()
+	if *hetero {
+		n := *images
+		if n == 0 {
+			n = 400
+		}
+		runHetero(n)
+		return
+	}
+
+	cfg := repro.QuickBenchConfig()
 	if *full {
-		cfg = bench.DefaultConfig()
+		cfg = repro.DefaultBenchConfig()
 	}
 	if *images > 0 {
 		cfg.ImagesPerSubset = *images
@@ -49,12 +61,12 @@ func main() {
 		cfg.Subsets = *subsets
 	}
 
-	h, err := bench.NewHarness(cfg)
+	h, err := repro.NewBenchmarks(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	ids := bench.ExperimentIDs()
+	ids := repro.ExperimentIDs()
 	if *experiment != "all" {
 		ids = strings.Split(*experiment, ",")
 	}
@@ -70,5 +82,40 @@ func main() {
 			fmt.Println(tbl.String())
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", tbl.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// runHetero demonstrates §III's device groups beyond the paper's
+// figures: one dataset split across every device family at once,
+// under each routing policy.
+func runHetero(images int) {
+	fmt.Printf("heterogeneous device groups: CPU + GPU + 4 VPUs over %d images\n\n", images)
+	net := repro.NewGoogLeNet(repro.Seed(42))
+	blob, err := repro.CompileGraph(net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, route := range []repro.Routing{
+		repro.StaticSplit, repro.RoundRobinSplit, repro.WorkStealing, repro.WeightedByThroughput,
+	} {
+		sess, err := repro.NewSession(
+			repro.WithImages(images),
+			repro.WithCPU(8),
+			repro.WithGPU(8),
+			repro.WithVPUs(4),
+			repro.WithNetwork(net),
+			repro.WithBlob(blob),
+			repro.WithRouting(route),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		report, err := sess.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("── routing: %v ──\n%s\n", route, report)
+		fmt.Fprintf(os.Stderr, "[%v done in %v]\n", route, time.Since(start).Round(time.Millisecond))
 	}
 }

@@ -1,13 +1,15 @@
 // Command ncsw-classify is the NCSw command-line front end: it
 // classifies images from a source (the synthetic validation set, or a
-// folder of .ppm files made with make-dataset) on a chosen target —
-// the simulated CPU, GPU, or a group of Neural Compute Sticks — and
-// reports accuracy plus simulated throughput.
+// folder of .ppm files made with make-dataset) on one or more device
+// groups — the simulated CPU, GPU, and groups of Neural Compute
+// Sticks — and reports per-group and aggregate accuracy plus
+// simulated throughput.
 //
 // Examples:
 //
 //	ncsw-classify -target vpu -devices 4 -images 200
 //	ncsw-classify -target cpu -batch 8 -images 400
+//	ncsw-classify -target cpu,gpu,vpu -devices 4 -routing weighted
 //	ncsw-classify -target vpu -folder ./val-data
 package main
 
@@ -15,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"repro"
 )
@@ -23,71 +26,97 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ncsw-classify: ")
 
-	target := flag.String("target", "vpu", "target device: cpu, gpu or vpu")
-	devices := flag.Int("devices", 1, "NCS devices for the vpu target")
-	batch := flag.Int("batch", 8, "batch size for cpu/gpu targets")
+	target := flag.String("target", "vpu",
+		"device groups, comma-separated: cpu, gpu and/or vpu (e.g. cpu,gpu,vpu)")
+	devices := flag.Int("devices", 1, "NCS devices per vpu group")
+	batch := flag.Int("batch", 8, "batch size for cpu/gpu groups")
 	images := flag.Int("images", 100, "synthetic validation images to classify")
 	folder := flag.String("folder", "", "classify .ppm images from this folder instead")
+	routing := flag.String("routing", "weighted",
+		"routing across groups: static, roundrobin, stealing or weighted")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	flag.Parse()
 
-	net := repro.NewMicroGoogLeNet(repro.DefaultMicroConfig(), repro.Seed(42))
-	ds, err := repro.NewDataset(datasetConfig(*images, *folder))
+	opts := []repro.SessionOption{
+		repro.WithFunctional(true),
+		repro.WithSeed(*seed),
+	}
+	if *folder == "" {
+		if *images <= 0 {
+			log.Fatalf("-images must be positive (got %d)", *images)
+		}
+		// The synthetic dataset generates images lazily, so the full
+		// default set costs nothing; WithImages bounds the run.
+		opts = append(opts, repro.WithImages(*images))
+	}
+	route, err := parseRouting(*routing)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := calibrate(net, ds); err != nil {
-		log.Fatal(err)
+	opts = append(opts, repro.WithRouting(route))
+
+	for _, kind := range strings.Split(*target, ",") {
+		switch strings.TrimSpace(kind) {
+		case "cpu":
+			opts = append(opts, repro.WithCPU(*batch))
+		case "gpu":
+			opts = append(opts, repro.WithGPU(*batch))
+		case "vpu":
+			opts = append(opts, repro.WithVPUs(*devices))
+		default:
+			log.Fatalf("unknown target %q (want cpu, gpu or vpu)", kind)
+		}
 	}
 
-	src, n, err := buildSource(ds, *folder, *images, net)
+	sess, err := repro.NewSession(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	env := repro.NewEnv()
-	tgt, err := buildTarget(env, *target, net, *devices, *batch, *seed)
+	total := *images
+	if *folder != "" {
+		src, n, err := folderSource(sess, *folder)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sess.SetSource(src)
+		total = n
+	}
+
+	report, err := sess.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	col := repro.NewCollector(false)
-	job := tgt.Start(env, src, col.Sink())
-	env.Run()
-	if job.Err != nil {
-		log.Fatal(job.Err)
-	}
-
-	fmt.Printf("target:             %s (TDP %.1f W)\n", tgt.Name(), tgt.TDPWatts())
-	fmt.Printf("images classified:  %d of %d\n", job.Images, n)
-	fmt.Printf("simulated time:     %v\n", job.DoneAt-job.ReadyAt)
-	fmt.Printf("throughput:         %.1f img/s (simulated)\n", job.Throughput())
+	fmt.Print(report)
+	fmt.Printf("images classified:  %d of %d\n", report.Images, total)
+	col := report.Collector
 	if col.Correct+col.Mispred > 0 {
 		fmt.Printf("top-1 error:        %.2f%% (%d/%d wrong)\n",
-			col.TopOneError()*100, col.Mispred, col.Correct+col.Mispred)
-		fmt.Printf("mean confidence:    %.3f\n", col.MeanConfidence())
+			report.TopOneError*100, col.Mispred, col.Correct+col.Mispred)
+		fmt.Printf("mean confidence:    %.3f\n", report.MeanConfidence)
 	}
 }
 
-func datasetConfig(images int, folder string) repro.DatasetConfig {
-	cfg := repro.DefaultDatasetConfig()
-	if folder == "" && images > 0 {
-		cfg.Images = images
+func parseRouting(name string) (repro.Routing, error) {
+	switch name {
+	case "static":
+		return repro.StaticSplit, nil
+	case "roundrobin", "rr":
+		return repro.RoundRobinSplit, nil
+	case "stealing", "dynamic":
+		return repro.WorkStealing, nil
+	case "weighted", "":
+		return repro.WeightedByThroughput, nil
 	}
-	return cfg
+	return 0, fmt.Errorf("unknown routing %q (want static, roundrobin, stealing or weighted)", name)
 }
 
-// calibrate installs the prototype classifier so predictions are
-// meaningful (the reproduction's stand-in for pre-trained weights).
-func calibrate(net *repro.Graph, ds *repro.Dataset) error {
-	return repro.CalibratePrototypeClassifier(net, ds, repro.DefaultClassifierTemperature)
-}
-
-func buildSource(ds *repro.Dataset, folder string, images int, net *repro.Graph) (repro.Source, int, error) {
-	if folder == "" {
-		src, err := repro.NewDatasetSource(ds, 0, images, true)
-		return src, images, err
-	}
+// folderSource loads .ppm images (with optional .xml annotations)
+// sized for the session's network, labelled through the session's
+// synset table.
+func folderSource(sess *repro.Session, dir string) (repro.Source, int, error) {
+	ds := sess.Dataset()
 	labelOf := func(wnid string) (int, bool) {
 		for c := 0; c < ds.Classes(); c++ {
 			if ds.Synset(c).WNID == wnid {
@@ -96,33 +125,10 @@ func buildSource(ds *repro.Dataset, folder string, images int, net *repro.Graph)
 		}
 		return 0, false
 	}
-	size := net.InputShape()[1]
-	src, err := repro.NewFolderSource(folder, size, ds.Mean(), labelOf)
+	size := sess.Network().InputShape()[1]
+	src, err := repro.NewFolderSource(dir, size, ds.Mean(), labelOf)
 	if err != nil {
 		return nil, 0, err
 	}
 	return src, src.Len(), nil
-}
-
-func buildTarget(env *repro.Env, kind string, net *repro.Graph, devices, batch int, seed uint64) (repro.Target, error) {
-	switch kind {
-	case "cpu":
-		return repro.NewCPUTarget(net, batch, true, repro.Seed(seed))
-	case "gpu":
-		return repro.NewGPUTarget(net, batch, true, repro.Seed(seed))
-	case "vpu":
-		sticks, err := repro.NewNCSTestbed(env, devices, repro.Seed(seed))
-		if err != nil {
-			return nil, err
-		}
-		blob, err := repro.CompileGraph(net)
-		if err != nil {
-			return nil, err
-		}
-		opts := repro.DefaultVPUOptions()
-		opts.Functional = true
-		return repro.NewVPUTarget(sticks, blob, opts)
-	default:
-		return nil, fmt.Errorf("unknown target %q (want cpu, gpu or vpu)", kind)
-	}
 }

@@ -1,8 +1,9 @@
 // Multi-VPU: the paper's parallel NCSw pipeline (Fig. 4) — one host
 // worker per Neural Compute Stick, round-robin dispatch, and the
-// near-ideal scaling of Fig. 6b. Runs GoogLeNet inference (the
-// performance workload) on 1, 2, 4 and 8 simulated sticks and prints
-// the scaling table plus a steady-state timeline.
+// near-ideal scaling of Fig. 6b. Each stick count is one
+// single-group session; the session layer adds no timing overhead
+// over the hand-wired target, so the scaling table matches the
+// paper's.
 //
 //	go run ./examples/multivpu
 package main
@@ -19,14 +20,9 @@ const imagesPerRun = 200
 func main() {
 	log.SetFlags(0)
 
-	net := repro.NewGoogLeNet(repro.Seed(1))
+	// One network and one compiled blob, shared by every session.
+	net := repro.NewGoogLeNet(repro.Seed(42))
 	blob, err := repro.CompileGraph(net)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cfg := repro.DefaultDatasetConfig()
-	cfg.Images = imagesPerRun
-	ds, err := repro.NewDataset(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,7 +31,7 @@ func main() {
 	fmt.Printf("%-8s %-14s %-14s %-10s\n", "sticks", "img/s", "ms/img", "scaling")
 	var base float64
 	for _, n := range []int{1, 2, 4, 8} {
-		ips := run(n, blob, ds, nil)
+		ips := run(n, net, blob, nil)
 		if n == 1 {
 			base = ips
 		}
@@ -44,45 +40,31 @@ func main() {
 
 	// One more 4-stick run with tracing to show the Fig. 4 overlap.
 	tl := repro.NewTimeline()
-	run(4, blob, ds, tl)
+	run(4, net, blob, tl)
 	fmt.Println("\nsteady-state pipeline on 4 sticks (Fig. 4): L=load #=exec R=read")
 	fmt.Print(tl.Render(96))
 }
 
 // run executes imagesPerRun inferences on n sticks and returns the
 // steady-state throughput.
-func run(n int, blob []byte, ds *repro.Dataset, tl *repro.Timeline) float64 {
-	env := repro.NewEnv()
-	sticks, err := repro.NewNCSTestbed(env, n, repro.Seed(7))
+func run(n int, net *repro.Graph, blob []byte, tl *repro.Timeline) float64 {
+	sess, err := repro.NewSession(
+		repro.WithImages(imagesPerRun),
+		repro.WithVPUs(n),
+		repro.WithNetwork(net),
+		repro.WithBlob(blob),
+		repro.WithSeed(7),
+		repro.WithTimeline(tl),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := repro.DefaultVPUOptions()
-	target, err := repro.NewVPUTarget(sticks, blob, opts)
+	report, err := sess.Run()
 	if err != nil {
 		log.Fatal(err)
-	}
-	src, err := repro.NewDatasetSource(ds, 0, imagesPerRun, false)
-	if err != nil {
-		log.Fatal(err)
-	}
-	col := repro.NewCollector(false)
-
-	// Tracing needs the timeline attached before Start.
-	if tl != nil {
-		opts.Timeline = tl
-		target, err = repro.NewVPUTarget(sticks, blob, opts)
-		if err != nil {
-			log.Fatal(err)
-		}
-	}
-	job := target.Start(env, src, col.Sink())
-	env.Run()
-	if job.Err != nil {
-		log.Fatal(job.Err)
 	}
 	if tl != nil {
-		*tl = *tl.After(job.ReadyAt)
+		*tl = *tl.After(report.Job.ReadyAt)
 	}
-	return job.Throughput()
+	return report.Throughput
 }

@@ -1,8 +1,10 @@
 // Powerstudy: the paper's §V analysis — Eq. (1) images-per-Watt for
-// the CPU, GPU and multi-VPU configurations, plus the simulated energy
-// meter reading the paper leaves to future work ("actual power
+// the CPU, GPU and multi-VPU configurations, plus the simulated
+// energy meter reading the paper leaves to future work ("actual power
 // measurements would be required ... the TDP can be far from the real
-// power draws per device").
+// power draws per device"). Each configuration is one single-group
+// session; the report carries both the TDP-based img/W and the
+// metered energy.
 //
 //	go run ./examples/powerstudy
 package main
@@ -12,7 +14,6 @@ import (
 	"log"
 
 	"repro"
-	"repro/internal/power"
 )
 
 const images = 400
@@ -20,14 +21,9 @@ const images = 400
 func main() {
 	log.SetFlags(0)
 
-	net := repro.NewGoogLeNet(repro.Seed(1))
+	// One network and one compiled blob, shared by every session.
+	net := repro.NewGoogLeNet(repro.Seed(42))
 	blob, err := repro.CompileGraph(net)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cfg := repro.DefaultDatasetConfig()
-	cfg.Images = images
-	ds, err := repro.NewDataset(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,73 +31,40 @@ func main() {
 	fmt.Println("GoogLeNet inference, throughput per Watt (Eq. 1, batch 8 / 8 sticks)")
 	fmt.Printf("%-12s %-12s %-10s %-12s\n", "target", "img/s", "TDP (W)", "img/W")
 
-	// CPU at batch 8.
-	cpu, err := repro.NewCPUTarget(net, 8, false, repro.Seed(2))
-	if err != nil {
-		log.Fatal(err)
-	}
-	cpuIPS := runBatch(cpu, ds)
-	fmt.Printf("%-12s %-12.1f %-10.1f %-12.2f\n", "CPU", cpuIPS, power.CPUTDPWatts,
-		power.ImagesPerWatt(cpuIPS, power.CPUTDPWatts))
+	cpu := run(net, blob, repro.WithCPU(8))
+	fmt.Printf("%-12s %-12.1f %-10.1f %-12.2f\n", "CPU", cpu.Throughput, cpu.TDPWatts, cpu.ImagesPerWatt)
 
-	// GPU at batch 8.
-	gpu, err := repro.NewGPUTarget(net, 8, false, repro.Seed(2))
-	if err != nil {
-		log.Fatal(err)
-	}
-	gpuIPS := runBatch(gpu, ds)
-	fmt.Printf("%-12s %-12.1f %-10.1f %-12.2f\n", "GPU", gpuIPS, power.GPUTDPWatts,
-		power.ImagesPerWatt(gpuIPS, power.GPUTDPWatts))
+	gpu := run(net, blob, repro.WithGPU(8))
+	fmt.Printf("%-12s %-12.1f %-10.1f %-12.2f\n", "GPU", gpu.Throughput, gpu.TDPWatts, gpu.ImagesPerWatt)
 
-	// 8 sticks, with the energy meter read out afterwards.
-	env := repro.NewEnv()
-	sticks, err := repro.NewNCSTestbed(env, 8, repro.Seed(2))
-	if err != nil {
-		log.Fatal(err)
-	}
-	target, err := repro.NewVPUTarget(sticks, blob, repro.DefaultVPUOptions())
-	if err != nil {
-		log.Fatal(err)
-	}
-	src, err := repro.NewDatasetSource(ds, 0, images, false)
-	if err != nil {
-		log.Fatal(err)
-	}
-	col := repro.NewCollector(false)
-	job := target.Start(env, src, col.Sink())
-	env.Run()
-	if job.Err != nil {
-		log.Fatal(job.Err)
-	}
-	vpuTDP := target.TDPWatts()
-	fmt.Printf("%-12s %-12.1f %-10.1f %-12.2f\n", "VPU x8", job.Throughput(), vpuTDP,
-		power.ImagesPerWatt(job.Throughput(), vpuTDP))
+	vpu := run(net, blob, repro.WithVPUs(8))
+	fmt.Printf("%-12s %-12.1f %-10.1f %-12.2f\n", "VPU x8", vpu.Throughput, vpu.TDPWatts, vpu.ImagesPerWatt)
 
-	// Beyond the paper: integrate the sticks' simulated power states
-	// over the run (boot, idle, SHAVE-active) instead of assuming TDP.
-	var joules, avg float64
-	for _, d := range sticks {
-		joules += d.Meter().EnergyJoules(env.Now())
-		avg += d.Meter().AveragePowerWatts(env.Now())
-	}
-	fmt.Printf("\nmeasured (simulated) energy across 8 sticks: %.1f J over %v\n", joules, env.Now())
+	// Beyond the paper: the sticks' simulated power states (boot,
+	// idle, SHAVE-active) integrated over the run instead of the TDP
+	// assumption — straight off the session report.
+	fmt.Printf("\nmeasured (simulated) energy across 8 sticks: %.1f J\n", vpu.EnergyJoules)
 	fmt.Printf("average draw %.2f W total (%.2f W per stick) vs %.0f W TDP assumption\n",
-		avg, avg/8, vpuTDP)
+		vpu.AvgPowerWatts, vpu.AvgPowerWatts/8, vpu.TDPWatts)
 	fmt.Printf("metered img/W: %.2f (TDP-based: %.2f)\n",
-		float64(job.Images)/joules, power.ImagesPerWatt(job.Throughput(), vpuTDP))
+		float64(vpu.Images)/vpu.EnergyJoules, vpu.ImagesPerWatt)
 }
 
-func runBatch(t repro.Target, ds *repro.Dataset) float64 {
-	src, err := repro.NewDatasetSource(ds, 0, images, false)
+// run executes one pure-performance session and returns its only
+// group report.
+func run(net *repro.Graph, blob []byte, group repro.SessionOption) repro.TargetReport {
+	sess, err := repro.NewSession(group,
+		repro.WithImages(images),
+		repro.WithNetwork(net),
+		repro.WithBlob(blob),
+		repro.WithSeed(2),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	env := repro.NewEnv()
-	col := repro.NewCollector(false)
-	job := t.Start(env, src, col.Sink())
-	env.Run()
-	if job.Err != nil {
-		log.Fatal(job.Err)
+	report, err := sess.Run()
+	if err != nil {
+		log.Fatal(err)
 	}
-	return job.Throughput()
+	return report.Targets[0]
 }

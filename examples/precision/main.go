@@ -1,8 +1,8 @@
 // Precision: the Fig. 7 experiment in miniature — the same images
-// classified by the FP32 network (the CPU path) and by the FP16
-// network reconstructed from the compiled NCS graph file (the VPU
-// path), comparing top-1 agreement and per-image confidence
-// differences, plus the FP16-accumulate ablation.
+// classified by two functional sessions, one on the CPU path (FP32
+// Caffe batch engine) and one on the VPU path (FP16 inference from
+// the compiled NCS graph file), comparing top-1 error and per-image
+// confidence differences, plus the FP16-accumulate ablation.
 //
 //	go run ./examples/precision
 package main
@@ -20,65 +20,53 @@ const images = 300
 func main() {
 	log.SetFlags(0)
 
-	net32 := repro.NewMicroGoogLeNet(repro.DefaultMicroConfig(), repro.Seed(42))
-	ds, err := repro.NewDataset(repro.DefaultDatasetConfig())
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := repro.CalibratePrototypeClassifier(net32, ds, repro.DefaultClassifierTemperature); err != nil {
-		log.Fatal(err)
-	}
-	// The graph-file round trip is exactly what the NCS does to the
-	// weights: FP32 -> binary16 -> FP32-exact halves.
-	blob, err := repro.CompileGraph(net32)
-	if err != nil {
-		log.Fatal(err)
-	}
-	net16, err := repro.ParseGraph(blob)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// Two sessions over the same dataset and network seeds: the only
+	// difference between them is the device path, exactly the paper's
+	// CPU-vs-VPU comparison.
+	cpuResults, _ := run(repro.WithCPU(8))
+	vpuResults, sess := run(repro.WithVPUs(1))
+	ds := sess.Dataset()
 
 	var wrong32, wrong16, wrongStrict, agree int
 	var confDiff, maxDiff float64
 	var filtered int
+
+	// The FP16-accumulate ablation reuses the session's compiled blob:
+	// the graph-file round trip is exactly what the NCS does to the
+	// weights (FP32 -> binary16 -> FP32-exact halves).
+	net16, err := repro.ParseGraph(sess.Blob())
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	for i := 0; i < images; i++ {
-		in := ds.Preprocessed(i).Reshape(1, 3, 32, 32)
-		out32, err := net32.Forward(in, repro.FP32)
-		if err != nil {
-			log.Fatal(err)
-		}
-		out16, err := net16.Forward(in, repro.FP16)
-		if err != nil {
-			log.Fatal(err)
-		}
-		outS, err := net16.Forward(in, repro.FP16Strict)
-		if err != nil {
-			log.Fatal(err)
-		}
+		r32, r16 := cpuResults[i], vpuResults[i]
 		label := ds.Label(i)
-		p32, c32 := out32.ArgMax()
-		p16, c16 := out16.ArgMax()
-		pS, _ := outS.ArgMax()
-		if p32 != label {
+		if r32.Pred != label {
 			wrong32++
 		}
-		if p16 != label {
+		if r16.Pred != label {
 			wrong16++
 		}
-		if pS != label {
-			wrongStrict++
-		}
-		if p32 == p16 {
+		if r32.Pred == r16.Pred {
 			agree++
 		}
-		if p32 == label && p16 == label {
-			d := math.Abs(float64(c32) - float64(c16))
+		if r32.Pred == label && r16.Pred == label {
+			d := math.Abs(float64(r32.Confidence) - float64(r16.Confidence))
 			confDiff += d
 			if d > maxDiff {
 				maxDiff = d
 			}
 			filtered++
+		}
+
+		in := ds.Preprocessed(i).Reshape(1, 3, 32, 32)
+		outS, err := net16.Forward(in, repro.FP16Strict)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if pS, _ := outS.ArgMax(); pS != label {
+			wrongStrict++
 		}
 	}
 
@@ -92,4 +80,27 @@ func main() {
 	fmt.Printf("max  |confidence diff| (filtered):  %.2e\n", maxDiff)
 	fmt.Printf("\nthe FP16 weights in the graph file are exactly representable halves;\n")
 	fmt.Printf("all divergence above is genuine binary16 rounding, not injected noise\n")
+}
+
+// run executes one functional session over the shared image range and
+// returns its results indexed by image.
+func run(group repro.SessionOption) (map[int]repro.Result, *repro.Session) {
+	sess, err := repro.NewSession(
+		group,
+		repro.WithImages(images),
+		repro.WithFunctional(true),
+		repro.WithRetain(true),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := sess.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	byIndex := make(map[int]repro.Result, len(report.Results))
+	for _, r := range report.Results {
+		byIndex[r.Index] = r
+	}
+	return byIndex, sess
 }

@@ -1,7 +1,9 @@
-// Quickstart: the Listing-1 workflow of the paper on one simulated
-// Neural Compute Stick — open the device, allocate a compiled graph,
-// load a tensor (non-blocking), overlap host work while the VPU runs,
-// and retrieve the classification result.
+// Quickstart: the paper's workflow through the declarative session
+// API — one simulated Neural Compute Stick classifies five synthetic
+// validation images with real FP16 inference. The session owns what
+// Listing 1 hand-wires: dataset synthesis, network construction and
+// calibration, graph compilation (mvNCCompile), USB testbed assembly,
+// device open/allocate, and result collection.
 //
 //	go run ./examples/quickstart
 package main
@@ -17,76 +19,30 @@ func main() {
 	log.SetFlags(0)
 	fmt.Println(repro.About())
 
-	// Build the network and its synthetic validation data, install the
-	// prototype classifier (the stand-in for pre-trained weights), and
-	// compile the NCS graph blob — the mvNCCompile step.
-	net := repro.NewMicroGoogLeNet(repro.DefaultMicroConfig(), repro.Seed(42))
-	ds, err := repro.NewDataset(repro.DefaultDatasetConfig())
+	sess, err := repro.NewSession(
+		repro.WithVPUs(1),
+		repro.WithFunctional(true),
+		repro.WithImages(5),
+		repro.WithRetain(true),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := repro.CalibratePrototypeClassifier(net, ds, repro.DefaultClassifierTemperature); err != nil {
-		log.Fatal(err)
-	}
-	blob, err := repro.CompileGraph(net)
+	report, err := sess.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// One simulated NCS on a motherboard USB port.
-	env := repro.NewEnv()
-	devices, err := repro.NewNCSTestbed(env, 1, repro.Seed(1))
-	if err != nil {
-		log.Fatal(err)
+	ds := sess.Dataset()
+	for _, r := range report.Results {
+		verdict := "MISS"
+		if r.Pred == r.Label {
+			verdict = "HIT"
+		}
+		fmt.Printf("image %d: predicted %q (class %d, conf %.3f) — truth %q [%s] in %v\n",
+			r.Index, ds.Synset(r.Pred).Name, r.Pred, r.Confidence,
+			ds.Synset(r.Label).Name, verdict, r.End-r.Start)
 	}
-	dev := devices[0]
-
-	env.Process("host", func(p *repro.Proc) {
-		if err := dev.Open(p); err != nil { // loads firmware, boots the RTOS
-			log.Fatal(err)
-		}
-		graph, err := dev.AllocateGraph(p, blob, repro.GraphOptions{Functional: true})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("device %s ready at t=%v (graph: %d layers, %d bytes)\n",
-			dev.Name(), p.Now(), graph.Info().Layers, graph.Info().Bytes)
-
-		for i := 0; i < 5; i++ {
-			img := ds.Preprocessed(i)
-
-			// Load the graph with the input image (mvncLoadTensor):
-			// returns as soon as the transfer completes and execution
-			// is queued on the SHAVE processors.
-			loaded := p.Now()
-			if err := graph.LoadTensor(p, img, i); err != nil {
-				log.Fatal(err)
-			}
-
-			// *** Perform other overlapping computations here *** —
-			// e.g. decode the next frame. We just note the free time.
-			free := p.Now()
-
-			// Retrieve the inference result (mvncGetResult): blocks
-			// until the VPU finishes.
-			res, err := graph.GetResult(p)
-			if err != nil {
-				log.Fatal(err)
-			}
-			pred, conf := res.Output.ArgMax()
-			verdict := "MISS"
-			if pred == ds.Label(i) {
-				verdict = "HIT"
-			}
-			fmt.Printf("image %d: predicted %q (class %d, conf %.3f) — truth %q [%s]\n",
-				i, ds.Synset(pred).Name, pred, conf, ds.Synset(ds.Label(i)).Name, verdict)
-			fmt.Printf("         load %v, host free %v while VPU executed %v\n",
-				free-loaded, res.ExecTime, res.ExecTime)
-		}
-		if err := dev.Close(p); err != nil {
-			log.Fatal(err)
-		}
-	})
-	env.Run()
-	fmt.Printf("total simulated time: %v\n", env.Now())
+	fmt.Println()
+	fmt.Print(report)
 }

@@ -1,8 +1,9 @@
 // Streaming: §III's heterogeneous device groups — an MPI-style stream
-// source produced by a simulated rank fans out to two target groups
-// running concurrently in the same environment: a CPU batch engine and
-// a 2-stick VPU group. "Different sources can be easily connected to
-// the same or multiple targets."
+// source produced by a simulated rank fans out to two device groups
+// running concurrently in the same session: a CPU batch engine and a
+// 2-stick VPU group. Work-stealing routing means whichever group is
+// free takes the next frame — "different sources can be easily
+// connected to the same or multiple targets."
 //
 //	go run ./examples/streaming
 package main
@@ -23,27 +24,25 @@ const (
 func main() {
 	log.SetFlags(0)
 
-	net := repro.NewMicroGoogLeNet(repro.DefaultMicroConfig(), repro.Seed(42))
-	ds, err := repro.NewDataset(repro.DefaultDatasetConfig())
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := repro.CalibratePrototypeClassifier(net, ds, repro.DefaultClassifierTemperature); err != nil {
-		log.Fatal(err)
-	}
-	blob, err := repro.CompileGraph(net)
+	sess, err := repro.NewSession(
+		repro.WithCPU(4),
+		repro.WithVPUs(2),
+		repro.WithFunctional(true),
+		repro.WithStream(16),
+		repro.WithRouting(repro.WorkStealing),
+		repro.WithSeed(3),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	env := repro.NewEnv()
-
-	// The producing "MPI rank": pushes one preprocessed frame every
-	// 25 ms of simulated time into a bounded stream. The stream
+	// The producing "MPI rank": one preprocessed frame every 25 ms of
+	// simulated time into the session's bounded stream. The stream
 	// outlives the VPU group's setup (two firmware boots, ~1.7 s), so
 	// both groups compete for frames once the sticks come online.
-	stream := repro.NewStreamSource(env, 16)
-	env.Process("mpi-rank0", func(p *repro.Proc) {
+	ds := sess.Dataset()
+	stream := sess.Stream()
+	sess.Env().Process("mpi-rank0", func(p *repro.Proc) {
 		for i := 0; i < streamed; i++ {
 			p.Sleep(frameInterval)
 			stream.Push(p, repro.Item{Index: i, Image: ds.Preprocessed(i), Label: ds.Label(i)})
@@ -51,40 +50,17 @@ func main() {
 		stream.Close(p)
 	})
 
-	// Group 1: the CPU engine pulls from the shared stream.
-	cpu, err := repro.NewCPUTarget(net, 4, true, repro.Seed(3))
+	report, err := sess.Run()
 	if err != nil {
 		log.Fatal(err)
-	}
-	cpuCol := repro.NewCollector(false)
-	cpuJob := cpu.Start(env, stream, cpuCol.Sink())
-
-	// Group 2: two NCS sticks pull from the same stream — whoever is
-	// free takes the next frame.
-	sticks, err := repro.NewNCSTestbed(env, 2, repro.Seed(3))
-	if err != nil {
-		log.Fatal(err)
-	}
-	opts := repro.DefaultVPUOptions()
-	opts.Functional = true
-	vpu, err := repro.NewVPUTarget(sticks, blob, opts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	vpuCol := repro.NewCollector(false)
-	vpuJob := vpu.Start(env, stream, vpuCol.Sink())
-
-	env.Run()
-	if cpuJob.Err != nil || vpuJob.Err != nil {
-		log.Fatal(cpuJob.Err, vpuJob.Err)
 	}
 
 	fmt.Printf("streamed %d frames at %v intervals into two device groups:\n\n", streamed, frameInterval)
 	fmt.Printf("%-14s %-8s %-11s %-10s\n", "group", "frames", "top-1 err", "mean conf")
-	fmt.Printf("%-14s %-8d %-11s %-10.3f\n", "cpu", cpuJob.Images,
-		fmt.Sprintf("%.2f%%", cpuCol.TopOneError()*100), cpuCol.MeanConfidence())
-	fmt.Printf("%-14s %-8d %-11s %-10.3f\n", vpu.Name(), vpuJob.Images,
-		fmt.Sprintf("%.2f%%", vpuCol.TopOneError()*100), vpuCol.MeanConfidence())
-	fmt.Printf("\ntotal frames processed: %d (every frame exactly once)\n", cpuJob.Images+vpuJob.Images)
-	fmt.Printf("simulated wall time: %v\n", env.Now())
+	for _, tr := range report.Targets {
+		fmt.Printf("%-14s %-8d %-11s %-10.3f\n", tr.Name, tr.Images,
+			fmt.Sprintf("%.2f%%", tr.TopOneError*100), tr.MeanConfidence)
+	}
+	fmt.Printf("\ntotal frames processed: %d (every frame exactly once)\n", report.Images)
+	fmt.Printf("simulated wall time: %v\n", report.SimTime)
 }

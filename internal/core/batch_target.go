@@ -87,6 +87,7 @@ func (t *BatchTarget) TDPWatts() float64 { return t.engine.TDPWatts() }
 func (t *BatchTarget) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 	job := &Job{}
 	env.Process(t.name, func(p *sim.Proc) {
+		job.StartedAt = p.Now()
 		job.ReadyAt = p.Now()
 		batch := make([]Item, 0, t.batchSize)
 		for {
@@ -108,7 +109,7 @@ func (t *BatchTarget) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 			t.emit(batch, start, p.Now(), sink, job)
 			job.Images += len(batch)
 		}
-		job.DoneAt = p.Now()
+		job.Finish(p)
 	})
 	return job
 }

@@ -28,6 +28,9 @@ import (
 // pure-performance runs (the devices still pay full transfer and
 // execution costs; they just skip numeric inference). Label is the
 // ground-truth class, or -1 when unknown.
+//
+// Index -1 is reserved: the framework uses it as the end-of-stream
+// sentinel on internal feeds. StreamSource.Push rejects it.
 type Item struct {
 	Index int
 	Image *tensor.T
@@ -62,6 +65,9 @@ type Result struct {
 // Job tracks one target run. Its fields become meaningful as the
 // simulation advances; read them after Env.Run returns.
 type Job struct {
+	// StartedAt is when Target.Start's main process began executing
+	// (before any device setup).
+	StartedAt time.Duration
 	// ReadyAt is when setup finished (devices opened, graphs
 	// allocated) and steady-state processing began; throughput is
 	// measured from here, matching the paper's exclusion of one-time
@@ -74,11 +80,61 @@ type Job struct {
 	Images int
 	// Err is the first error encountered, if any.
 	Err error
+
+	// watchers run inside the target's main process the moment the job
+	// completes, letting composite targets (Pool) join their children
+	// in virtual time.
+	watchers []func(p *sim.Proc)
+	// done flips when finish runs; composite targets use it to stop
+	// feeding children that have already shut down.
+	done bool
 }
 
-// Throughput returns images per second over the steady-state window.
+// Done reports whether the target has shut down (in virtual time).
+func (j *Job) Done() bool { return j.done }
+
+// onFinish registers fn to run (in the target's own process) when the
+// job completes. Must be called before the simulation starts the
+// target's shutdown.
+func (j *Job) onFinish(fn func(p *sim.Proc)) {
+	j.watchers = append(j.watchers, fn)
+}
+
+// Finish stamps DoneAt and notifies completion watchers. Every
+// Target.Start implementation must route its terminal paths through
+// here (not set DoneAt directly) — composite targets like Pool join
+// their children through this signal, and a child that never calls it
+// deadlocks the pool join.
+func (j *Job) Finish(p *sim.Proc) {
+	j.DoneAt = p.Now()
+	j.done = true
+	for _, fn := range j.watchers {
+		fn(p)
+	}
+}
+
+// Span returns the steady-state window DoneAt-ReadyAt. When the
+// window is degenerate (DoneAt == ReadyAt — e.g. a single-image run
+// whose only completion lands on the ReadyAt instant) it falls back
+// to the full run window DoneAt-StartedAt, so callers measuring
+// throughput still see the real virtual time the work occupied.
+func (j *Job) Span() time.Duration {
+	if span := j.DoneAt - j.ReadyAt; span > 0 {
+		return span
+	}
+	return j.DoneAt - j.StartedAt
+}
+
+// Throughput returns images per second over the steady-state window
+// [ReadyAt, DoneAt] — one-time setup (firmware boot, graph
+// allocation) is excluded, matching the paper's methodology. For
+// degenerate windows it uses Span's full-run fallback; it returns 0
+// only when no images completed or no virtual time elapsed at all.
 func (j *Job) Throughput() float64 {
-	span := (j.DoneAt - j.ReadyAt).Seconds()
+	if j.Images == 0 {
+		return 0
+	}
+	span := j.Span().Seconds()
 	if span <= 0 {
 		return 0
 	}
@@ -87,11 +143,20 @@ func (j *Job) Throughput() float64 {
 
 // Target consumes a source inside env, calling sink for every result.
 // Start registers simulation processes and returns immediately; the
-// caller then drives env.Run.
+// caller then drives env.Run. Implementations must call Job.Finish
+// (in the target's own process) on every terminal path — that is the
+// completion signal composite targets join on.
 type Target interface {
 	Name() string
 	TDPWatts() float64
 	Start(env *sim.Env, src Source, sink func(Result)) *Job
+}
+
+// Sized is implemented by finite sources that can report how many
+// items they have left to serve. The Pool's static-split router needs
+// it to size the contiguous per-child partitions up front.
+type Sized interface {
+	Remaining() int
 }
 
 // DatasetSource serves a half-open index range of a synthetic
@@ -111,6 +176,9 @@ func NewDatasetSource(ds *imagenet.Dataset, lo, hi int, functional bool) (*Datas
 	}
 	return &DatasetSource{ds: ds, next: lo, hi: hi, functional: functional}, nil
 }
+
+// Remaining implements Sized.
+func (s *DatasetSource) Remaining() int { return s.hi - s.next }
 
 // Next implements Source.
 func (s *DatasetSource) Next(_ *sim.Proc) (Item, bool) {
@@ -137,6 +205,9 @@ func NewSliceSource(items []Item) *SliceSource {
 	return &SliceSource{items: items}
 }
 
+// Remaining implements Sized.
+func (s *SliceSource) Remaining() int { return len(s.items) - s.next }
+
 // Next implements Source.
 func (s *SliceSource) Next(_ *sim.Proc) (Item, bool) {
 	if s.next >= len(s.items) {
@@ -161,10 +232,14 @@ func NewStreamSource(env *sim.Env, capacity int) *StreamSource {
 }
 
 // Push appends an item, blocking while the buffer is full. Pushing
-// after Close panics: it is a protocol bug in the producer.
+// after Close, or pushing the reserved sentinel index -1, panics: both
+// are protocol bugs in the producer.
 func (s *StreamSource) Push(p *sim.Proc, item Item) {
 	if s.closed {
 		panic("core: Push after Close")
+	}
+	if item.Index == -1 {
+		panic("core: Push with reserved Index -1 (the end-of-stream sentinel)")
 	}
 	s.q.Put(p, item)
 }

@@ -75,6 +75,9 @@ func NewFolderSource(dir string, size int, means []float32, labelOf func(wnid st
 // Len returns the number of loaded images.
 func (s *FolderSource) Len() int { return len(s.items) }
 
+// Remaining implements Sized.
+func (s *FolderSource) Remaining() int { return len(s.items) - s.next }
+
 // Next implements Source.
 func (s *FolderSource) Next(_ *sim.Proc) (Item, bool) {
 	if s.next >= len(s.items) {

@@ -1,0 +1,466 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Routing selects how a Pool distributes source items across its
+// child targets. It is the device-group scheduler of §III ("run a
+// specific subset of inputs on a GPU, and at the same time another
+// subset ... on several VPUs"), generalized to any mix of targets.
+type Routing int
+
+const (
+	// RouteWeighted (the zero value, and so the default) deals items
+	// in proportion to per-child weights. With explicit
+	// PoolOptions.Weights the deal is strict deficit round-robin
+	// (blocking on the preferred child, so the ratio holds). Without
+	// explicit weights it adapts: weights track each child's observed
+	// completion rate and a full preferred queue spills the item to
+	// the next-best child, keeping the pool work-conserving — faster
+	// devices receive proportionally more.
+	RouteWeighted Routing = iota
+	// RouteStatic partitions the source into contiguous per-child
+	// blocks sized by the weights (equal split by default). It needs a
+	// finite source (one implementing Sized); starting it on an
+	// unbounded stream records an error on the pool's Job.
+	RouteStatic
+	// RouteRoundRobin deals item k to child k mod N in order — the
+	// pool-level analogue of the paper's static multi-VPU scheduling.
+	RouteRoundRobin
+	// RouteWorkStealing hands every child the shared source directly:
+	// whichever child is free pulls the next item. No dispatcher
+	// process, minimum latency, but batch children may grab eagerly
+	// from sources whose items are all available up front.
+	RouteWorkStealing
+)
+
+// String names the routing policy.
+func (r Routing) String() string {
+	switch r {
+	case RouteStatic:
+		return "static-split"
+	case RouteRoundRobin:
+		return "round-robin"
+	case RouteWorkStealing:
+		return "work-stealing"
+	case RouteWeighted:
+		return "throughput-weighted"
+	}
+	return fmt.Sprintf("routing(%d)", int(r))
+}
+
+// PoolOptions configures a Pool.
+type PoolOptions struct {
+	// Routing selects the dispatch policy (default RouteWeighted).
+	Routing Routing
+	// Weights are optional per-child dispatch weights for RouteStatic
+	// and RouteWeighted. Nil means equal (static) or adaptive
+	// (weighted). When set, len(Weights) must equal the child count
+	// and every weight must be positive.
+	Weights []float64
+	// QueueDepth bounds each child's feed queue for the dispatcher
+	// policies (default 2, mirroring the NCS FIFO depth). Deeper
+	// queues smooth dispatch at the cost of balance.
+	QueueDepth int
+	// OnResult, when set, observes every result with the index of the
+	// child that produced it — the hook per-group statistics hang off.
+	OnResult func(child int, r Result)
+}
+
+// Pool is a Target over N child targets: a composite device group.
+// Because Pool itself implements Target, groups compose recursively —
+// a pool of (CPU, pool of VPUs) is just another target.
+type Pool struct {
+	name     string
+	children []Target
+	opts     PoolOptions
+	jobs     []*Job
+}
+
+// NewPool builds a device group over children.
+func NewPool(children []Target, opts PoolOptions) (*Pool, error) {
+	if len(children) == 0 {
+		return nil, fmt.Errorf("core: pool needs at least one child target")
+	}
+	for i, c := range children {
+		if c == nil {
+			return nil, fmt.Errorf("core: pool child %d is nil", i)
+		}
+	}
+	if opts.Weights != nil {
+		if len(opts.Weights) != len(children) {
+			return nil, fmt.Errorf("core: %d weights for %d children", len(opts.Weights), len(children))
+		}
+		for i, w := range opts.Weights {
+			if w <= 0 {
+				return nil, fmt.Errorf("core: non-positive weight %g for child %d", w, i)
+			}
+		}
+	}
+	if opts.QueueDepth < 0 {
+		return nil, fmt.Errorf("core: negative queue depth %d", opts.QueueDepth)
+	}
+	if opts.QueueDepth == 0 {
+		opts.QueueDepth = 2
+	}
+	names := make([]string, len(children))
+	for i, c := range children {
+		names[i] = c.Name()
+	}
+	return &Pool{
+		name:     fmt.Sprintf("pool[%s](%s)", opts.Routing, strings.Join(names, "+")),
+		children: children,
+		opts:     opts,
+	}, nil
+}
+
+// Name implements Target.
+func (pl *Pool) Name() string { return pl.name }
+
+// TDPWatts implements Target: the aggregate TDP of the group.
+func (pl *Pool) TDPWatts() float64 {
+	var w float64
+	for _, c := range pl.children {
+		w += c.TDPWatts()
+	}
+	return w
+}
+
+// Children returns the child targets.
+func (pl *Pool) Children() []Target { return pl.children }
+
+// ChildJobs returns the per-child jobs of the last Start. Valid after
+// Start; fields settle once Env.Run returns.
+func (pl *Pool) ChildJobs() []*Job { return pl.jobs }
+
+// childFeed is the per-child source fed by the pool dispatcher.
+type childFeed struct {
+	q *sim.Queue[Item]
+}
+
+// poolSentinel marks end-of-feed on a child queue. Real items use
+// Index >= 0 (folder/dataset/stream indices); -1 is the framework-wide
+// shutdown convention.
+const poolSentinel = -1
+
+func (f *childFeed) Next(p *sim.Proc) (Item, bool) {
+	item := f.q.Get(p)
+	if item.Index == poolSentinel {
+		// Re-post the sentinel (there is always room for it — Get just
+		// freed a slot) so children that poll exhaustion repeatedly,
+		// like the batch targets, keep seeing it.
+		f.q.TryPut(item)
+		return Item{}, false
+	}
+	return item, true
+}
+
+// Start implements Target. It starts every child on its share of the
+// source, runs a dispatcher process for the dealt policies, and joins
+// the children in virtual time, aggregating their jobs:
+// ReadyAt = earliest child ReadyAt (the group can process from then),
+// DoneAt = latest child DoneAt, Images = total across children.
+func (pl *Pool) Start(env *sim.Env, src Source, sink func(Result)) *Job {
+	job := &Job{}
+	n := len(pl.children)
+	pl.jobs = make([]*Job, n)
+	completed := make([]int, n)
+
+	childSink := func(i int) func(Result) {
+		return func(r Result) {
+			completed[i]++
+			if pl.opts.OnResult != nil {
+				pl.opts.OnResult(i, r)
+			}
+			sink(r)
+		}
+	}
+
+	// RouteStatic needs the total item count up front. When the
+	// source cannot provide one the error is recorded on the pool's
+	// job, but the children still start and shut down cleanly so
+	// ChildJobs and the per-child statistics stay well-formed.
+	var total int
+	var routeErr error
+	if pl.opts.Routing == RouteStatic {
+		if sized, ok := src.(Sized); ok {
+			total = sized.Remaining()
+		} else {
+			routeErr = fmt.Errorf("core: static split needs a finite source (implementing Sized); %T is not", src)
+		}
+	}
+
+	// Start the children. Work-stealing children share the source
+	// directly; the dealt policies get per-child bounded feeds. A
+	// child that finishes early (device error) drains its own feed on
+	// the way out, waking a dispatcher blocked on the full queue; the
+	// drained items are re-routed to surviving children while dealing
+	// is still in progress. Items stranded by a child that dies after
+	// dealing has finished (at most QueueDepth of them) are dropped —
+	// the child's error is on its job and the pool's, so the loss is
+	// never silent.
+	feeds := make([]*sim.Queue[Item], n)
+	var orphans []Item
+	done := sim.NewQueue[int](env, "pool/join", 0)
+	for i, c := range pl.children {
+		var csrc Source
+		if pl.opts.Routing == RouteWorkStealing {
+			csrc = src
+		} else {
+			feeds[i] = sim.NewQueue[Item](env, fmt.Sprintf("pool/feed%d", i), pl.opts.QueueDepth)
+			csrc = &childFeed{q: feeds[i]}
+		}
+		cj := c.Start(env, csrc, childSink(i))
+		i := i
+		cj.onFinish(func(p *sim.Proc) {
+			done.Put(p, i)
+			if feeds[i] != nil {
+				orphans = append(orphans, drainFeed(feeds[i])...)
+			}
+		})
+		pl.jobs[i] = cj
+	}
+
+	env.Process("pool-main", func(p *sim.Proc) {
+		job.StartedAt = p.Now()
+		if routeErr != nil {
+			job.Err = routeErr
+			pl.shutdownFeeds(p, feeds)
+		} else if pl.opts.Routing != RouteWorkStealing {
+			pl.dispatch(p, src, feeds, &orphans, completed, total)
+		}
+		// Join every child, then aggregate.
+		for range pl.children {
+			done.Get(p)
+		}
+		var ready time.Duration
+		readySet := false
+		for i, cj := range pl.jobs {
+			job.Images += cj.Images
+			if cj.Err != nil && job.Err == nil {
+				job.Err = fmt.Errorf("core: pool child %s: %w", pl.children[i].Name(), cj.Err)
+			}
+			if cj.Err == nil && (!readySet || cj.ReadyAt < ready) {
+				ready = cj.ReadyAt
+				readySet = true
+			}
+		}
+		if job.Err == nil && len(orphans) > 0 {
+			job.Err = fmt.Errorf("core: %d item(s) stranded by a child that stopped consuming", len(orphans))
+		}
+		job.ReadyAt = ready
+		job.Finish(p)
+	})
+	return job
+}
+
+// dispatch pulls items from src and deals them to the child feeds
+// according to the routing policy, re-routing items reclaimed from
+// children that shut down early, then closes every feed.
+func (pl *Pool) dispatch(p *sim.Proc, src Source, feeds []*sim.Queue[Item], orphans *[]Item, completed []int, total int) {
+	n := len(feeds)
+	dealt := make([]int, n)
+
+	// splitEnds[i] is the exclusive end of child i's contiguous block
+	// under RouteStatic: weighted largest-remainder apportionment.
+	var splitEnds []int
+	if pl.opts.Routing == RouteStatic {
+		splitEnds = apportion(total, pl.staticWeights(n))
+	}
+
+	k := 0
+	deliver := func(item Item) bool {
+		var target int
+		var ok bool
+		switch pl.opts.Routing {
+		case RouteStatic:
+			child := 0
+			for child < n-1 && k >= splitEnds[child] {
+				child++
+			}
+			target, ok = pl.put(p, feeds, child, item)
+		case RouteRoundRobin:
+			target, ok = pl.put(p, feeds, k%n, item)
+		default: // RouteWeighted
+			target, ok = pl.dispatchWeighted(p, feeds, dealt, completed, item)
+		}
+		if !ok {
+			return false
+		}
+		k++
+		// If the target died while we were blocked on its full feed,
+		// the item (and anything else queued there) is stranded —
+		// reclaim it for re-routing.
+		if pl.jobs[target].done {
+			*orphans = append(*orphans, drainFeed(feeds[target])...)
+		}
+		return true
+	}
+
+	alive := true
+	for alive {
+		for alive && len(*orphans) > 0 {
+			item := (*orphans)[0]
+			*orphans = (*orphans)[1:]
+			alive = deliver(item)
+		}
+		if !alive {
+			break
+		}
+		item, ok := src.Next(p)
+		if !ok {
+			break
+		}
+		alive = deliver(item)
+	}
+	for alive && len(*orphans) > 0 {
+		item := (*orphans)[0]
+		*orphans = (*orphans)[1:]
+		alive = deliver(item)
+	}
+	// When !alive every child has shut down (their errors are on
+	// their jobs) and any remaining items are dropped; the pool job
+	// carries the first error.
+	pl.shutdownFeeds(p, feeds)
+}
+
+// shutdownFeeds posts the end-of-feed sentinel to every live child.
+func (pl *Pool) shutdownFeeds(p *sim.Proc, feeds []*sim.Queue[Item]) {
+	for i := range feeds {
+		if feeds[i] == nil || pl.jobs[i].done {
+			continue
+		}
+		feeds[i].Put(p, Item{Index: poolSentinel})
+	}
+}
+
+// drainFeed empties a dead child's feed, waking any blocked putter,
+// and returns the stranded work items (sentinels are discarded).
+func drainFeed(q *sim.Queue[Item]) []Item {
+	var items []Item
+	for {
+		item, ok := q.TryGet()
+		if !ok {
+			return items
+		}
+		if item.Index != poolSentinel {
+			items = append(items, item)
+		}
+	}
+}
+
+// put delivers the item to child i, reroutes to the next live child
+// when i has already shut down, and reports which child received it
+// (ok=false when no child is left alive).
+func (pl *Pool) put(p *sim.Proc, feeds []*sim.Queue[Item], i int, item Item) (int, bool) {
+	n := len(feeds)
+	for off := 0; off < n; off++ {
+		j := (i + off) % n
+		if pl.jobs[j].done {
+			continue
+		}
+		feeds[j].Put(p, item)
+		return j, true
+	}
+	return 0, false
+}
+
+// staticWeights returns the explicit weights or an equal split.
+func (pl *Pool) staticWeights(n int) []float64 {
+	if pl.opts.Weights != nil {
+		return pl.opts.Weights
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// dispatchWeighted deals the item to the live child with the smallest
+// dispatch deficit dealt/weight. With explicit weights it blocks on
+// that child so the requested ratio holds exactly; in adaptive mode
+// (weights from observed completions, +1 so cold children stay
+// eligible) a full preferred feed spills the item down the preference
+// order, chasing realized throughput instead of a fixed ratio.
+// Reports which child received the item (ok=false when no child is
+// left alive).
+func (pl *Pool) dispatchWeighted(p *sim.Proc, feeds []*sim.Queue[Item], dealt, completed []int, item Item) (int, bool) {
+	explicit := pl.opts.Weights != nil
+	weight := func(i int) float64 {
+		if explicit {
+			return pl.opts.Weights[i]
+		}
+		return float64(completed[i] + 1)
+	}
+	var order []int
+	for i := range feeds {
+		if !pl.jobs[i].done {
+			order = append(order, i)
+		}
+	}
+	if len(order) == 0 {
+		return 0, false
+	}
+	deficit := func(i int) float64 { return float64(dealt[i]) / weight(i) }
+	// Insertion sort by deficit: n is a handful of devices.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && deficit(order[j]) < deficit(order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	if !explicit {
+		for _, i := range order {
+			if feeds[i].TryPut(item) {
+				dealt[i]++
+				return i, true
+			}
+		}
+	}
+	feeds[order[0]].Put(p, item)
+	dealt[order[0]]++
+	return order[0], true
+}
+
+// apportion splits total items into contiguous blocks proportional to
+// weights using largest-remainder rounding; it returns the exclusive
+// end index of each block (the last always equals total).
+func apportion(total int, weights []float64) []int {
+	n := len(weights)
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	counts := make([]int, n)
+	rema := make([]float64, n)
+	assigned := 0
+	for i, w := range weights {
+		exact := float64(total) * w / sum
+		counts[i] = int(exact)
+		rema[i] = exact - float64(counts[i])
+		assigned += counts[i]
+	}
+	for assigned < total {
+		best := 0
+		for i := 1; i < n; i++ {
+			if rema[i] > rema[best] {
+				best = i
+			}
+		}
+		counts[best]++
+		rema[best] = -1
+		assigned++
+	}
+	ends := make([]int, n)
+	acc := 0
+	for i, c := range counts {
+		acc += c
+		ends[i] = acc
+	}
+	return ends
+}

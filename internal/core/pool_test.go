@@ -1,0 +1,324 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// stubTarget is a deterministic fixed-latency device for scheduler
+// tests: setup once, then one item at a time. quitAfter > 0 makes it
+// stop consuming (without reading the end-of-feed sentinel) after
+// that many items — the shape of a device dying mid-run.
+type stubTarget struct {
+	name      string
+	setup     time.Duration
+	latency   time.Duration
+	quitAfter int
+}
+
+func (t *stubTarget) Name() string      { return t.name }
+func (t *stubTarget) TDPWatts() float64 { return 1 }
+
+func (t *stubTarget) Start(env *sim.Env, src Source, sink func(Result)) *Job {
+	job := &Job{}
+	env.Process(t.name, func(p *sim.Proc) {
+		job.StartedAt = p.Now()
+		p.Sleep(t.setup)
+		job.ReadyAt = p.Now()
+		for t.quitAfter == 0 || job.Images < t.quitAfter {
+			item, ok := src.Next(p)
+			if !ok {
+				break
+			}
+			start := p.Now()
+			p.Sleep(t.latency)
+			sink(Result{Index: item.Index, Label: item.Label, Pred: item.Label,
+				Start: start, End: p.Now(), Device: t.name})
+			job.Images++
+		}
+		job.Finish(p)
+	})
+	return job
+}
+
+func sliceOf(n int) *SliceSource {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{Index: i, Label: i % 7}
+	}
+	return NewSliceSource(items)
+}
+
+// runPool drives n items through children under the routing policy
+// and returns the pool job plus per-index completion counts.
+func runPool(t *testing.T, children []Target, opts PoolOptions, n int) (*Pool, *Job, map[int]int) {
+	t.Helper()
+	pool, err := NewPool(children, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := sim.NewEnv()
+	seen := map[int]int{}
+	job := pool.Start(env, sliceOf(n), func(r Result) { seen[r.Index]++ })
+	env.Run()
+	return pool, job, seen
+}
+
+func checkConservation(t *testing.T, seen map[int]int, n int, ctx string) {
+	t.Helper()
+	if len(seen) != n {
+		t.Fatalf("%s: %d distinct items classified, want %d", ctx, len(seen), n)
+	}
+	for idx, count := range seen {
+		if count != 1 {
+			t.Errorf("%s: item %d classified %d times", ctx, idx, count)
+		}
+	}
+}
+
+// TestPoolItemConservation: every routing policy must classify every
+// item exactly once, across equal and skewed device groups.
+func TestPoolItemConservation(t *testing.T) {
+	const n = 100
+	for _, routing := range []Routing{RouteStatic, RouteRoundRobin, RouteWorkStealing, RouteWeighted} {
+		for _, skewed := range []bool{false, true} {
+			children := []Target{
+				&stubTarget{name: "a", latency: time.Millisecond},
+				&stubTarget{name: "b", latency: time.Millisecond},
+				&stubTarget{name: "c", latency: time.Millisecond},
+			}
+			if skewed {
+				children[2].(*stubTarget).latency = 9 * time.Millisecond
+			}
+			ctx := fmt.Sprintf("%v skewed=%v", routing, skewed)
+			pool, job, seen := runPool(t, children, PoolOptions{Routing: routing}, n)
+			if job.Err != nil {
+				t.Fatalf("%s: %v", ctx, job.Err)
+			}
+			checkConservation(t, seen, n, ctx)
+			if job.Images != n {
+				t.Errorf("%s: pool job counted %d images, want %d", ctx, job.Images, n)
+			}
+			sum := 0
+			for _, cj := range pool.ChildJobs() {
+				sum += cj.Images
+			}
+			if sum != n {
+				t.Errorf("%s: child jobs total %d images, want %d", ctx, sum, n)
+			}
+		}
+	}
+}
+
+// TestPoolStaticSplitContiguous: explicit 1:3 weights over a sized
+// source produce contiguous blocks of 25 and 75 items.
+func TestPoolStaticSplitContiguous(t *testing.T) {
+	const n = 100
+	children := []Target{
+		&stubTarget{name: "small", latency: time.Millisecond},
+		&stubTarget{name: "big", latency: time.Millisecond},
+	}
+	var maxChild0 int = -1
+	var minChild1 int = n
+	opts := PoolOptions{
+		Routing: RouteStatic,
+		Weights: []float64{1, 3},
+		OnResult: func(child int, r Result) {
+			if child == 0 && r.Index > maxChild0 {
+				maxChild0 = r.Index
+			}
+			if child == 1 && r.Index < minChild1 {
+				minChild1 = r.Index
+			}
+		},
+	}
+	pool, job, seen := runPool(t, children, opts, n)
+	if job.Err != nil {
+		t.Fatal(job.Err)
+	}
+	checkConservation(t, seen, n, "static 1:3")
+	jobs := pool.ChildJobs()
+	if jobs[0].Images != 25 || jobs[1].Images != 75 {
+		t.Errorf("split = %d/%d, want 25/75", jobs[0].Images, jobs[1].Images)
+	}
+	if maxChild0 != 24 || minChild1 != 25 {
+		t.Errorf("blocks not contiguous: child0 max %d, child1 min %d", maxChild0, minChild1)
+	}
+}
+
+// TestPoolSkewedDynamicBeatsStatic: on a 10x-skewed device pair, the
+// adaptive weighted router and work-stealing must both finish the
+// workload substantially sooner than static round-robin, which is
+// gated by the slow device.
+func TestPoolSkewedDynamicBeatsStatic(t *testing.T) {
+	const n = 110
+	build := func() []Target {
+		return []Target{
+			&stubTarget{name: "fast", latency: time.Millisecond},
+			&stubTarget{name: "slow", latency: 10 * time.Millisecond},
+		}
+	}
+	span := func(routing Routing) time.Duration {
+		_, job, seen := runPool(t, build(), PoolOptions{Routing: routing}, n)
+		if job.Err != nil {
+			t.Fatalf("%v: %v", routing, job.Err)
+		}
+		checkConservation(t, seen, n, routing.String())
+		return job.Span()
+	}
+
+	static := span(RouteRoundRobin)
+	weighted := span(RouteWeighted)
+	stealing := span(RouteWorkStealing)
+
+	// Round-robin hands the slow device n/2 items at 10 ms each
+	// (~550 ms); a throughput-proportional split finishes in ~100 ms.
+	if weighted >= static*2/3 {
+		t.Errorf("weighted span %v not clearly better than round-robin %v", weighted, static)
+	}
+	if stealing >= static*2/3 {
+		t.Errorf("work-stealing span %v not clearly better than round-robin %v", stealing, static)
+	}
+}
+
+// TestPoolWeightedFollowsExplicitWeights: static 4:1 weights steer
+// dispatch roughly 4:1 when both children keep up.
+func TestPoolWeightedFollowsExplicitWeights(t *testing.T) {
+	const n = 100
+	children := []Target{
+		&stubTarget{name: "w4", latency: time.Millisecond},
+		&stubTarget{name: "w1", latency: time.Millisecond},
+	}
+	pool, job, seen := runPool(t, children,
+		PoolOptions{Routing: RouteWeighted, Weights: []float64{4, 1}}, n)
+	if job.Err != nil {
+		t.Fatal(job.Err)
+	}
+	checkConservation(t, seen, n, "weighted 4:1")
+	jobs := pool.ChildJobs()
+	// Spillover can shift a few items; the ratio should stay near 4:1.
+	if jobs[0].Images < 65 || jobs[1].Images > 35 {
+		t.Errorf("weighted split = %d/%d, want roughly 80/20", jobs[0].Images, jobs[1].Images)
+	}
+}
+
+// TestPoolRecursiveComposition: a pool of (device, pool of devices)
+// still conserves items — device groups compose.
+func TestPoolRecursiveComposition(t *testing.T) {
+	const n = 60
+	inner, err := NewPool([]Target{
+		&stubTarget{name: "i0", latency: time.Millisecond},
+		&stubTarget{name: "i1", latency: time.Millisecond},
+	}, PoolOptions{Routing: RouteRoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := []Target{
+		&stubTarget{name: "solo", latency: time.Millisecond},
+		inner,
+	}
+	pool, job, seen := runPool(t, outer, PoolOptions{Routing: RouteWeighted}, n)
+	if job.Err != nil {
+		t.Fatal(job.Err)
+	}
+	checkConservation(t, seen, n, "recursive")
+	if got := pool.TDPWatts(); got != 3 {
+		t.Errorf("aggregate TDP = %g, want 3", got)
+	}
+}
+
+// TestPoolChildDiesMidRun: a child that stops consuming with its feed
+// full must not deadlock the dispatcher; its stranded items are
+// reclaimed and re-routed so every item still lands exactly once.
+func TestPoolChildDiesMidRun(t *testing.T) {
+	const n = 40
+	for _, routing := range []Routing{RouteStatic, RouteRoundRobin, RouteWeighted} {
+		children := []Target{
+			&stubTarget{name: "quitter", latency: time.Millisecond, quitAfter: 3},
+			&stubTarget{name: "survivor", latency: time.Millisecond},
+		}
+		pool, job, seen := runPool(t, children, PoolOptions{Routing: routing}, n)
+		if job.Err != nil {
+			t.Fatalf("%v: %v", routing, job.Err)
+		}
+		checkConservation(t, seen, n, fmt.Sprintf("%v with dying child", routing))
+		jobs := pool.ChildJobs()
+		if jobs[0].Images != 3 || jobs[1].Images != n-3 {
+			t.Errorf("%v: split = %d/%d, want 3/%d", routing, jobs[0].Images, jobs[1].Images, n-3)
+		}
+		if !job.Done() || job.DoneAt == 0 {
+			t.Errorf("%v: pool job never finished (DoneAt=%v)", routing, job.DoneAt)
+		}
+	}
+}
+
+// TestPoolStaticNeedsSizedSource: static split over a stream records a
+// descriptive error instead of deadlocking.
+func TestPoolStaticNeedsSizedSource(t *testing.T) {
+	pool, err := NewPool([]Target{
+		&stubTarget{name: "a", latency: time.Millisecond},
+		&stubTarget{name: "b", latency: time.Millisecond},
+	}, PoolOptions{Routing: RouteStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := sim.NewEnv()
+	stream := NewStreamSource(env, 4)
+	env.Process("producer", func(p *sim.Proc) { stream.Close(p) })
+	job := pool.Start(env, stream, func(Result) {})
+	env.Run()
+	if job.Err == nil {
+		t.Fatal("static split over a stream succeeded; want Sized error")
+	}
+	// The children must still have started and shut down cleanly so
+	// composite reports stay well-formed.
+	for i, cj := range pool.ChildJobs() {
+		if cj == nil || !cj.Done() {
+			t.Errorf("child %d job not finished after routing error: %+v", i, cj)
+		}
+	}
+}
+
+// TestPoolValidation: constructor rejects bad configurations.
+func TestPoolValidation(t *testing.T) {
+	if _, err := NewPool(nil, PoolOptions{}); err == nil {
+		t.Error("empty pool accepted")
+	}
+	child := []Target{&stubTarget{name: "a", latency: time.Millisecond}}
+	if _, err := NewPool(child, PoolOptions{Weights: []float64{1, 2}}); err == nil {
+		t.Error("weight count mismatch accepted")
+	}
+	if _, err := NewPool(child, PoolOptions{Weights: []float64{-1}}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewPool(child, PoolOptions{QueueDepth: -1}); err == nil {
+		t.Error("negative queue depth accepted")
+	}
+	if _, err := NewPool([]Target{nil}, PoolOptions{}); err == nil {
+		t.Error("nil child accepted")
+	}
+}
+
+// TestJobThroughputDegenerateWindow: a single-image run whose only
+// completion lands exactly on ReadyAt must still report a meaningful
+// throughput via the full-run fallback window.
+func TestJobThroughputDegenerateWindow(t *testing.T) {
+	j := &Job{StartedAt: 0, ReadyAt: 5 * time.Millisecond, DoneAt: 5 * time.Millisecond, Images: 1}
+	if got := j.Span(); got != 5*time.Millisecond {
+		t.Errorf("degenerate Span = %v, want full-run fallback 5ms", got)
+	}
+	if got := j.Throughput(); got != 200 {
+		t.Errorf("degenerate Throughput = %g img/s, want 200", got)
+	}
+	empty := &Job{}
+	if got := empty.Throughput(); got != 0 {
+		t.Errorf("empty job Throughput = %g, want 0", got)
+	}
+	normal := &Job{ReadyAt: time.Second, DoneAt: 3 * time.Second, Images: 100}
+	if got := normal.Throughput(); got != 50 {
+		t.Errorf("steady-state Throughput = %g img/s, want 50", got)
+	}
+}

@@ -108,6 +108,7 @@ func (t *VPUTarget) Devices() []*ncs.Device { return t.devices }
 func (t *VPUTarget) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 	job := &Job{}
 	env.Process("ncsw-main", func(p *sim.Proc) {
+		job.StartedAt = p.Now()
 		n := len(t.devices)
 		tl := t.opts.Timeline
 
@@ -123,13 +124,13 @@ func (t *VPUTarget) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 			}
 			if err := d.Open(p); err != nil {
 				job.Err = fmt.Errorf("core: open %s: %w", d.Name(), err)
-				job.DoneAt = p.Now()
+				job.Finish(p)
 				return
 			}
 			g, err := d.AllocateGraph(p, t.blob, ncs.GraphOptions{Functional: t.opts.Functional})
 			if err != nil {
 				job.Err = fmt.Errorf("core: allocate on %s: %w", d.Name(), err)
-				job.DoneAt = p.Now()
+				job.Finish(p)
 				return
 			}
 			graphs[i] = g
@@ -183,7 +184,7 @@ func (t *VPUTarget) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 				job.Err = err
 			}
 		}
-		job.DoneAt = p.Now()
+		job.Finish(p)
 	})
 	return job
 }

@@ -1,0 +1,127 @@
+package pipeline
+
+import (
+	"repro/internal/core"
+	"repro/internal/imagenet"
+	"repro/internal/nn"
+	"repro/internal/trace"
+)
+
+// WithDataset sets the synthetic dataset configuration.
+func WithDataset(cfg imagenet.Config) Option {
+	return func(c *Config) { c.Dataset = cfg }
+}
+
+// WithImages limits the run to the first n dataset images.
+func WithImages(n int) Option {
+	return func(c *Config) { c.Images = n }
+}
+
+// WithFunctional toggles real numeric inference (default off: devices
+// pay full simulated costs but skip arithmetic).
+func WithFunctional(on bool) Option {
+	return func(c *Config) { c.Functional = on }
+}
+
+// WithSeed sets the simulation seed for every stochastic component.
+func WithSeed(seed uint64) Option {
+	return func(c *Config) { c.Seed = seed }
+}
+
+// WithNetSeed sets the network weight seed (default 42).
+func WithNetSeed(seed uint64) Option {
+	return func(c *Config) { c.NetSeed = seed }
+}
+
+// WithRouting selects the scheduler distributing items across device
+// groups (default core.RouteWeighted).
+func WithRouting(r core.Routing) Option {
+	return func(c *Config) { c.Routing = r }
+}
+
+// WithQueueDepth bounds the per-group feed queues for the dealt
+// routing policies.
+func WithQueueDepth(d int) Option {
+	return func(c *Config) { c.QueueDepth = d }
+}
+
+// WithRetain keeps every per-inference Result on the report.
+func WithRetain(on bool) Option {
+	return func(c *Config) { c.Retain = on }
+}
+
+// WithTimeline attaches a Fig. 4 execution timeline to every group.
+func WithTimeline(tl *trace.Timeline) Option {
+	return func(c *Config) { c.Timeline = tl }
+}
+
+// WithCPU adds a Caffe-MKL CPU group at the given batch size.
+func WithCPU(batch int) Option {
+	return func(c *Config) { c.Groups = append(c.Groups, Group{Kind: GroupCPU, Batch: batch}) }
+}
+
+// WithGPU adds a Caffe-cuDNN GPU group at the given batch size.
+func WithGPU(batch int) Option {
+	return func(c *Config) { c.Groups = append(c.Groups, Group{Kind: GroupGPU, Batch: batch}) }
+}
+
+// WithVPUs adds a group of n Neural Compute Sticks running the
+// parallel NCSw pipeline.
+func WithVPUs(n int) Option {
+	return func(c *Config) { c.Groups = append(c.Groups, Group{Kind: GroupVPU, Devices: n}) }
+}
+
+// WithVPUOptions adds a VPU group with explicit pipeline options
+// (scheduling, overlap, host overhead).
+func WithVPUOptions(n int, opts core.VPUOptions) Option {
+	return func(c *Config) {
+		c.Groups = append(c.Groups, Group{Kind: GroupVPU, Devices: n, VPUOptions: &opts})
+	}
+}
+
+// WithTarget adds a custom target as its own device group.
+func WithTarget(t core.Target) Option {
+	return func(c *Config) { c.Groups = append(c.Groups, Group{Kind: GroupCustom, Target: t}) }
+}
+
+// WithGroup adds a fully specified device group (weights, VPU
+// overrides).
+func WithGroup(g Group) Option {
+	return func(c *Config) { c.Groups = append(c.Groups, g) }
+}
+
+// WithStream replaces the dataset source with a push-style stream of
+// the given buffer capacity (0 = unbounded); feed it via
+// Session.Stream from a producer process.
+func WithStream(capacity int) Option {
+	return func(c *Config) { cap := capacity; c.StreamCapacity = &cap }
+}
+
+// WithGoogLeNet forces the full BVLC GoogLeNet workload.
+func WithGoogLeNet() Option {
+	return func(c *Config) { c.Network = NetGoogLeNet }
+}
+
+// WithNetwork supplies a prebuilt workload network, used as-is (no
+// construction or classifier calibration) — share one network across
+// several sessions.
+func WithNetwork(g *nn.Graph) Option {
+	return func(c *Config) { c.Net = g }
+}
+
+// WithBlob supplies a precompiled NCS graph file for the VPU groups,
+// skipping per-session compilation; pair with WithNetwork.
+func WithBlob(blob []byte) Option {
+	return func(c *Config) { c.Blob = blob }
+}
+
+// WithMicroNet forces the scaled-down inception network with the
+// given geometry.
+func WithMicroNet(cfg nn.MicroConfig) Option {
+	return func(c *Config) { c.Network = NetMicro; c.Micro = cfg }
+}
+
+// WithTemperature overrides the prototype-classifier softmax scale.
+func WithTemperature(t float32) Option {
+	return func(c *Config) { c.Temperature = t }
+}

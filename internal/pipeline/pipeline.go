@@ -1,0 +1,511 @@
+// Package pipeline is the declarative session layer over the NCSw
+// framework (internal/core): one Session owns the whole lifecycle
+// every caller used to hand-wire — simulation environment, synthetic
+// dataset, network construction and calibration, graph compilation,
+// USB testbed assembly, target construction, result collection — and
+// runs heterogeneous device groups (CPU, GPU, multi-VPU, custom
+// targets) over a shared or partitioned source under a pluggable
+// routing policy (core.Pool). It returns a unified Report with
+// per-target and aggregate statistics.
+//
+// A heterogeneous run, in full:
+//
+//	sess, err := pipeline.New(
+//		pipeline.WithImages(400),
+//		pipeline.WithCPU(8),
+//		pipeline.WithGPU(8),
+//		pipeline.WithVPUs(4),
+//		pipeline.WithRouting(core.RouteWeighted),
+//	)
+//	report, err := sess.Run()
+//
+// The Session builds everything eagerly in New, so callers can reach
+// the environment, dataset, network or stream before Run — the escape
+// hatches the cmd tools use for folder sources and MPI-style
+// producers.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/devsim"
+	"repro/internal/graphfile"
+	"repro/internal/imagenet"
+	"repro/internal/ncs"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/usb"
+)
+
+// GroupKind identifies the device family of a group.
+type GroupKind int
+
+const (
+	// GroupCPU is the Caffe-MKL batch baseline.
+	GroupCPU GroupKind = iota
+	// GroupGPU is the Caffe-cuDNN batch baseline.
+	GroupGPU
+	// GroupVPU is a set of Neural Compute Sticks driven by the
+	// parallel NCSw pipeline.
+	GroupVPU
+	// GroupCustom wraps a caller-provided core.Target.
+	GroupCustom
+)
+
+// String names the kind.
+func (k GroupKind) String() string {
+	switch k {
+	case GroupCPU:
+		return "cpu"
+	case GroupGPU:
+		return "gpu"
+	case GroupVPU:
+		return "vpu"
+	case GroupCustom:
+		return "custom"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Group declares one device group of the session.
+type Group struct {
+	// Kind selects the device family.
+	Kind GroupKind
+	// Batch is the CPU/GPU batch size (default 8).
+	Batch int
+	// Devices is the VPU stick count (default 1).
+	Devices int
+	// Weight is the group's routing weight for static and weighted
+	// routing; 0 means unset. When any group sets a weight, unset
+	// groups default to 1.
+	Weight float64
+	// VPUOptions overrides the multi-VPU pipeline settings for this
+	// group (Functional and Timeline are managed by the session).
+	VPUOptions *core.VPUOptions
+	// Target is the custom target for GroupCustom.
+	Target core.Target
+}
+
+// NetworkKind selects which network the session classifies with.
+type NetworkKind int
+
+const (
+	// NetAuto picks NetMicro for functional sessions (real inference
+	// wants the calibrated prototype classifier) and NetGoogLeNet for
+	// pure-performance sessions (the paper's timing workload).
+	NetAuto NetworkKind = iota
+	// NetGoogLeNet is the full BVLC GoogLeNet.
+	NetGoogLeNet
+	// NetMicro is the scaled-down inception network with the
+	// prototype classifier calibrated against the dataset.
+	NetMicro
+)
+
+// Config is the resolved session description. Build one with options
+// through New, or fill it directly and call NewFromConfig.
+type Config struct {
+	// Dataset parameterizes the synthetic validation set.
+	Dataset imagenet.Config
+	// Images is how many dataset images to classify (0 = all).
+	Images int
+	// Functional enables real numeric inference; otherwise devices
+	// pay full simulated costs but skip arithmetic.
+	Functional bool
+	// Network selects the workload network.
+	Network NetworkKind
+	// Net, when set, is used as the workload network as-is (no
+	// construction, no classifier calibration) — the inbound escape
+	// hatch for sharing one network across several sessions.
+	Net *nn.Graph
+	// Blob, when set, is used as the compiled NCS graph file instead
+	// of compiling Net — pair it with Net when running many sessions
+	// over the same workload.
+	Blob []byte
+	// Micro parameterizes the micro network (zero value = defaults).
+	Micro nn.MicroConfig
+	// Temperature is the prototype-classifier softmax scale
+	// (0 = the calibrated default, 150).
+	Temperature float32
+	// Seed drives every stochastic component of the run.
+	Seed uint64
+	// NetSeed seeds the network weights (0 = the conventional 42 the
+	// accuracy experiments were calibrated with).
+	NetSeed uint64
+	// Routing selects the device-group scheduler (default
+	// core.RouteWeighted, the adaptive throughput-chasing policy).
+	Routing core.Routing
+	// QueueDepth bounds the per-group feed queues (0 = default 2).
+	QueueDepth int
+	// Retain keeps every Result on the report.
+	Retain bool
+	// Timeline receives Fig. 4 spans when set.
+	Timeline *trace.Timeline
+	// StreamCapacity, when non-nil, replaces the dataset source with
+	// a push-style stream of that buffer capacity (0 = unbounded);
+	// drive it through Session.Stream.
+	StreamCapacity *int
+	// Groups are the device groups (at least one).
+	Groups []Group
+}
+
+// DefaultTemperature is the calibrated prototype-classifier softmax
+// scale (see internal/bench).
+const DefaultTemperature = 150.0
+
+// Option mutates the Config under construction.
+type Option func(*Config)
+
+// Session owns one classification run: environment, dataset, network,
+// compiled graph, devices and targets, built eagerly so they can be
+// inspected or adjusted before Run.
+type Session struct {
+	cfg     Config
+	env     *sim.Env
+	ds      *imagenet.Dataset
+	net     *nn.Graph
+	blob    []byte
+	devices []*ncs.Device // all sticks, in testbed port order
+	targets []core.Target
+	perVPU  [][]*ncs.Device // sticks per group index (nil for non-VPU)
+	stream  *core.StreamSource
+	source  core.Source
+	ran     bool
+}
+
+// New builds a session from options.
+func New(opts ...Option) (*Session, error) {
+	cfg := Config{}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return NewFromConfig(cfg)
+}
+
+// NewFromConfig builds a session from an explicit configuration.
+func NewFromConfig(cfg Config) (*Session, error) {
+	applyDefaults(&cfg)
+	if err := validate(&cfg); err != nil {
+		return nil, err
+	}
+
+	s := &Session{cfg: cfg, env: sim.NewEnv()}
+
+	ds, err := imagenet.New(cfg.Dataset)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: dataset: %w", err)
+	}
+	s.ds = ds
+	if cfg.Images == 0 {
+		s.cfg.Images = ds.Len()
+	} else if cfg.Images > ds.Len() {
+		return nil, fmt.Errorf("pipeline: %d images requested, dataset has %d", cfg.Images, ds.Len())
+	}
+
+	if err := s.buildNetwork(); err != nil {
+		return nil, err
+	}
+	if err := s.buildTargets(); err != nil {
+		return nil, err
+	}
+
+	if cfg.StreamCapacity != nil {
+		s.stream = core.NewStreamSource(s.env, *cfg.StreamCapacity)
+		s.source = s.stream
+	}
+	return s, nil
+}
+
+func applyDefaults(cfg *Config) {
+	if cfg.Dataset == (imagenet.Config{}) {
+		cfg.Dataset = imagenet.DefaultConfig()
+	}
+	if cfg.Temperature == 0 {
+		cfg.Temperature = DefaultTemperature
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.NetSeed == 0 {
+		cfg.NetSeed = 42
+	}
+	if cfg.Micro == (nn.MicroConfig{}) {
+		cfg.Micro = nn.DefaultMicroConfig()
+	}
+	if cfg.Network == NetAuto {
+		if cfg.Functional {
+			cfg.Network = NetMicro
+		} else {
+			cfg.Network = NetGoogLeNet
+		}
+	}
+	for i := range cfg.Groups {
+		g := &cfg.Groups[i]
+		switch g.Kind {
+		case GroupCPU, GroupGPU:
+			if g.Batch == 0 {
+				g.Batch = 8
+			}
+		case GroupVPU:
+			if g.Devices == 0 {
+				g.Devices = 1
+			}
+		}
+	}
+}
+
+func validate(cfg *Config) error {
+	if len(cfg.Groups) == 0 {
+		return fmt.Errorf("pipeline: session needs at least one device group (WithCPU/WithGPU/WithVPUs/WithTarget)")
+	}
+	if cfg.Images < 0 {
+		return fmt.Errorf("pipeline: negative image count %d", cfg.Images)
+	}
+	for i, g := range cfg.Groups {
+		switch g.Kind {
+		case GroupCPU, GroupGPU:
+			if g.Batch < 1 {
+				return fmt.Errorf("pipeline: group %d: batch size %d", i, g.Batch)
+			}
+		case GroupVPU:
+			if g.Devices < 1 {
+				return fmt.Errorf("pipeline: group %d: %d VPU devices", i, g.Devices)
+			}
+		case GroupCustom:
+			if g.Target == nil {
+				return fmt.Errorf("pipeline: group %d: custom group needs a Target", i)
+			}
+		default:
+			return fmt.Errorf("pipeline: group %d: unknown kind %v", i, g.Kind)
+		}
+		if g.Weight < 0 {
+			return fmt.Errorf("pipeline: group %d: negative weight %g", i, g.Weight)
+		}
+	}
+	if cfg.StreamCapacity != nil && *cfg.StreamCapacity < 0 {
+		return fmt.Errorf("pipeline: negative stream capacity %d", *cfg.StreamCapacity)
+	}
+	return nil
+}
+
+// buildNetwork constructs (and for the micro network calibrates) the
+// workload graph, then compiles the NCS blob when a VPU group needs
+// it. A caller-provided Net/Blob short-circuits the respective step.
+func (s *Session) buildNetwork() error {
+	if s.cfg.Net != nil {
+		s.net = s.cfg.Net
+	} else {
+		switch s.cfg.Network {
+		case NetMicro:
+			s.net = nn.NewMicroGoogLeNet(s.cfg.Micro, rng.New(s.cfg.NetSeed))
+			if err := nn.CalibrateClassifier(s.net, nn.MicroClassifierName, nn.MicroPoolName,
+				s.ds.PreprocessedPrototypes(), s.cfg.Temperature); err != nil {
+				return fmt.Errorf("pipeline: calibrate classifier: %w", err)
+			}
+		case NetGoogLeNet:
+			s.net = nn.NewGoogLeNet(rng.New(s.cfg.NetSeed))
+		default:
+			return fmt.Errorf("pipeline: unknown network kind %v", s.cfg.Network)
+		}
+	}
+	for _, g := range s.cfg.Groups {
+		if g.Kind == GroupVPU {
+			if s.cfg.Blob != nil {
+				s.blob = s.cfg.Blob
+				break
+			}
+			blob, err := graphfile.Compile(s.net)
+			if err != nil {
+				return fmt.Errorf("pipeline: compile graph: %w", err)
+			}
+			s.blob = blob
+			break
+		}
+	}
+	return nil
+}
+
+// buildTargets assembles the USB testbed (all sticks of all VPU
+// groups share the paper's Fig. 5 topology) and one target per group.
+// Each target family is seeded exactly the way the hand-wired
+// constructors seed it, so a session run is bit-identical to the
+// equivalent manual setup.
+func (s *Session) buildTargets() error {
+	totalSticks := 0
+	for _, g := range s.cfg.Groups {
+		if g.Kind == GroupVPU {
+			totalSticks += g.Devices
+		}
+	}
+	var ports []*usb.Port
+	if totalSticks > 0 {
+		var err error
+		_, ports, err = usb.Testbed(s.env, usb.DefaultConfig(), totalSticks)
+		if err != nil {
+			return fmt.Errorf("pipeline: usb testbed: %w", err)
+		}
+		deviceSeed := rng.New(s.cfg.Seed)
+		s.devices = make([]*ncs.Device, totalSticks)
+		for i, port := range ports {
+			d, err := ncs.NewDevice(s.env, port.Name(), port, ncs.DefaultConfig(), deviceSeed)
+			if err != nil {
+				return fmt.Errorf("pipeline: ncs device: %w", err)
+			}
+			s.devices[i] = d
+		}
+	}
+
+	s.targets = make([]core.Target, len(s.cfg.Groups))
+	s.perVPU = make([][]*ncs.Device, len(s.cfg.Groups))
+	nextStick := 0
+	for i, g := range s.cfg.Groups {
+		switch g.Kind {
+		case GroupCPU:
+			eng, err := devsim.NewCPU(devsim.DefaultCPUConfig(), devsim.WorkloadOf(s.net), rng.New(s.cfg.Seed))
+			if err != nil {
+				return fmt.Errorf("pipeline: cpu engine: %w", err)
+			}
+			t, err := core.NewCPUTarget(eng, s.net, g.Batch, s.cfg.Functional)
+			if err != nil {
+				return fmt.Errorf("pipeline: cpu target: %w", err)
+			}
+			if s.cfg.Timeline != nil {
+				t.SetTimeline(s.cfg.Timeline)
+			}
+			s.targets[i] = t
+		case GroupGPU:
+			eng, err := devsim.NewGPU(devsim.DefaultGPUConfig(), devsim.WorkloadOf(s.net), rng.New(s.cfg.Seed))
+			if err != nil {
+				return fmt.Errorf("pipeline: gpu engine: %w", err)
+			}
+			t, err := core.NewGPUTarget(eng, s.net, g.Batch, s.cfg.Functional)
+			if err != nil {
+				return fmt.Errorf("pipeline: gpu target: %w", err)
+			}
+			if s.cfg.Timeline != nil {
+				t.SetTimeline(s.cfg.Timeline)
+			}
+			s.targets[i] = t
+		case GroupVPU:
+			sticks := s.devices[nextStick : nextStick+g.Devices]
+			nextStick += g.Devices
+			opts := core.DefaultVPUOptions()
+			if g.VPUOptions != nil {
+				opts = *g.VPUOptions
+			}
+			opts.Functional = s.cfg.Functional
+			if s.cfg.Timeline != nil {
+				opts.Timeline = s.cfg.Timeline
+			}
+			t, err := core.NewVPUTarget(sticks, s.blob, opts)
+			if err != nil {
+				return fmt.Errorf("pipeline: vpu target: %w", err)
+			}
+			s.targets[i] = t
+			s.perVPU[i] = sticks
+		case GroupCustom:
+			s.targets[i] = g.Target
+		}
+	}
+	return nil
+}
+
+// Env returns the simulation environment (for custom producer
+// processes — the MPI-rank pattern).
+func (s *Session) Env() *sim.Env { return s.env }
+
+// Dataset returns the synthetic validation set.
+func (s *Session) Dataset() *imagenet.Dataset { return s.ds }
+
+// Network returns the workload graph.
+func (s *Session) Network() *nn.Graph { return s.net }
+
+// Blob returns the compiled NCS graph file (nil when no VPU group).
+func (s *Session) Blob() []byte { return s.blob }
+
+// Devices returns every Neural Compute Stick of the session, in
+// testbed port order.
+func (s *Session) Devices() []*ncs.Device { return s.devices }
+
+// Targets returns the constructed group targets, in group order.
+func (s *Session) Targets() []core.Target { return s.targets }
+
+// Stream returns the push source when the session was configured with
+// WithStream, nil otherwise.
+func (s *Session) Stream() *core.StreamSource { return s.stream }
+
+// SetSource overrides the input source (folder sources, custom
+// generators). Call before Run.
+func (s *Session) SetSource(src core.Source) { s.source = src }
+
+// Run wires the source to the device groups, drives the simulation to
+// completion and returns the unified report. A session runs once.
+func (s *Session) Run() (*Report, error) {
+	if s.ran {
+		return nil, fmt.Errorf("pipeline: session already ran")
+	}
+	s.ran = true
+
+	src := s.source
+	if src == nil {
+		dsrc, err := core.NewDatasetSource(s.ds, 0, s.cfg.Images, s.cfg.Functional)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: source: %w", err)
+		}
+		src = dsrc
+	}
+
+	merged := core.NewCollector(s.cfg.Retain)
+	perGroup := make([]*core.Collector, len(s.targets))
+	for i := range perGroup {
+		perGroup[i] = core.NewCollector(false)
+	}
+
+	var job *core.Job
+	var pool *core.Pool
+	if len(s.targets) == 1 {
+		// Single group: start directly, bit-identical to hand-wiring.
+		sink := merged.Sink()
+		groupSink := perGroup[0].Sink()
+		job = s.targets[0].Start(s.env, src, func(r core.Result) {
+			groupSink(r)
+			sink(r)
+		})
+	} else {
+		var weights []float64
+		for _, g := range s.cfg.Groups {
+			if g.Weight > 0 {
+				weights = make([]float64, len(s.cfg.Groups))
+				for i, gg := range s.cfg.Groups {
+					weights[i] = gg.Weight
+					if weights[i] == 0 {
+						weights[i] = 1
+					}
+				}
+				break
+			}
+		}
+		sinks := make([]func(core.Result), len(s.targets))
+		for i := range sinks {
+			sinks[i] = perGroup[i].Sink()
+		}
+		var err error
+		pool, err = core.NewPool(s.targets, core.PoolOptions{
+			Routing:    s.cfg.Routing,
+			Weights:    weights,
+			QueueDepth: s.cfg.QueueDepth,
+			OnResult:   func(child int, r core.Result) { sinks[child](r) },
+		})
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: pool: %w", err)
+		}
+		job = pool.Start(s.env, src, merged.Sink())
+	}
+
+	s.env.Run()
+
+	report := s.buildReport(job, pool, merged, perGroup)
+	return report, job.Err
+}

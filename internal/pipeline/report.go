@@ -1,0 +1,141 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/power"
+)
+
+// TargetReport is the per-device-group slice of a session report.
+type TargetReport struct {
+	// Name is the target's name ("cpu", "vpu-multi(4)", ...).
+	Name string
+	// Kind is the group's device family.
+	Kind GroupKind
+	// Images is the number of completed inferences.
+	Images int
+	// Throughput is steady-state images per second.
+	Throughput float64
+	// TDPWatts is the group's thermal design power.
+	TDPWatts float64
+	// ImagesPerWatt is Eq. (1): Throughput / TDPWatts.
+	ImagesPerWatt float64
+	// TopOneError and MeanConfidence are accuracy aggregates
+	// (meaningful for functional runs with labelled items).
+	TopOneError    float64
+	MeanConfidence float64
+	// EnergyJoules and AvgPowerWatts come from the simulated power
+	// meters (VPU groups only; 0 elsewhere) — the measurement the
+	// paper leaves to future work.
+	EnergyJoules  float64
+	AvgPowerWatts float64
+	// Job exposes the raw timing (StartedAt/ReadyAt/DoneAt, Err).
+	Job *core.Job
+	// Collector exposes the raw per-group aggregates.
+	Collector *core.Collector
+}
+
+// Report is the unified outcome of a session run.
+type Report struct {
+	// Targets holds one entry per device group, in group order.
+	Targets []TargetReport
+	// Images is the total number of completed inferences.
+	Images int
+	// Throughput is the aggregate steady-state rate of the whole
+	// group (images over the pool's steady-state window).
+	Throughput float64
+	// TDPWatts and ImagesPerWatt aggregate Eq. (1) over all groups.
+	TDPWatts      float64
+	ImagesPerWatt float64
+	// TopOneError and MeanConfidence are merged accuracy aggregates.
+	TopOneError    float64
+	MeanConfidence float64
+	// EnergyJoules totals the metered energy of all VPU groups.
+	EnergyJoules float64
+	// SimTime is the total virtual time of the run (including setup).
+	SimTime time.Duration
+	// Routing names the scheduling policy that distributed the work
+	// (meaningful when more than one group ran).
+	Routing core.Routing
+	// Job is the aggregate job (the pool's, or the single target's).
+	Job *core.Job
+	// Collector is the merged collector; Results holds every result
+	// when the session retained them.
+	Collector *core.Collector
+	// Results are the retained per-inference results (nil unless the
+	// session was configured with retention).
+	Results []core.Result
+}
+
+func (s *Session) buildReport(job *core.Job, pool *core.Pool, merged *core.Collector, perGroup []*core.Collector) *Report {
+	rep := &Report{
+		Images:         job.Images,
+		Throughput:     job.Throughput(),
+		TopOneError:    merged.TopOneError(),
+		MeanConfidence: merged.MeanConfidence(),
+		SimTime:        s.env.Now(),
+		Routing:        s.cfg.Routing,
+		Job:            job,
+		Collector:      merged,
+		Results:        merged.Results,
+	}
+	jobs := []*core.Job{job}
+	if pool != nil {
+		jobs = pool.ChildJobs()
+	}
+	for i, t := range s.targets {
+		tj := jobs[i]
+		tr := TargetReport{
+			Name:           t.Name(),
+			Kind:           s.cfg.Groups[i].Kind,
+			Images:         tj.Images,
+			Throughput:     tj.Throughput(),
+			TDPWatts:       t.TDPWatts(),
+			TopOneError:    perGroup[i].TopOneError(),
+			MeanConfidence: perGroup[i].MeanConfidence(),
+			Job:            tj,
+			Collector:      perGroup[i],
+		}
+		if tr.TDPWatts > 0 {
+			tr.ImagesPerWatt = power.ImagesPerWatt(tr.Throughput, tr.TDPWatts)
+		}
+		for _, d := range s.perVPU[i] {
+			tr.EnergyJoules += d.Meter().EnergyJoules(s.env.Now())
+			tr.AvgPowerWatts += d.Meter().AveragePowerWatts(s.env.Now())
+		}
+		rep.TDPWatts += tr.TDPWatts
+		rep.EnergyJoules += tr.EnergyJoules
+		rep.Targets = append(rep.Targets, tr)
+	}
+	if rep.TDPWatts > 0 {
+		rep.ImagesPerWatt = power.ImagesPerWatt(rep.Throughput, rep.TDPWatts)
+	}
+	return rep
+}
+
+// String renders the report as an aligned table, one row per group
+// plus a totals row.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %8s %10s %9s %8s %10s %10s\n",
+		"group", "images", "img/s", "TDP(W)", "img/W", "top1-err", "energy(J)")
+	row := func(name string, images int, ips, tdp, ipw, top1, joules float64) {
+		fmt.Fprintf(&b, "%-18s %8d %10.1f %9.1f %8.2f %9.2f%% %10.1f\n",
+			name, images, ips, tdp, ipw, top1*100, joules)
+	}
+	for _, t := range r.Targets {
+		row(t.Name, t.Images, t.Throughput, t.TDPWatts, t.ImagesPerWatt, t.TopOneError, t.EnergyJoules)
+	}
+	if len(r.Targets) > 1 {
+		row("total", r.Images, r.Throughput, r.TDPWatts, r.ImagesPerWatt, r.TopOneError, r.EnergyJoules)
+	}
+	fmt.Fprintf(&b, "simulated time %v", r.SimTime)
+	if len(r.Targets) > 1 {
+		fmt.Fprintf(&b, ", routing %v", r.Routing)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -11,8 +11,24 @@
 // package. The building blocks live in internal packages (one per
 // subsystem; see DESIGN.md for the inventory).
 //
-// A minimal classification session, in the style of the paper's
-// Listing 1:
+// The primary entry point is the declarative session API: describe
+// the dataset and the device groups, and the Session owns the whole
+// environment/testbed/compile/collect lifecycle. A heterogeneous run
+// — §III's device groups, with a CPU, a GPU and four Neural Compute
+// Sticks splitting one validation set — is:
+//
+//	sess, _ := repro.NewSession(
+//		repro.WithImages(400),
+//		repro.WithCPU(8),
+//		repro.WithGPU(8),
+//		repro.WithVPUs(4),
+//		repro.WithRouting(repro.WeightedByThroughput),
+//	)
+//	report, _ := sess.Run()
+//	fmt.Print(report) // per-group and aggregate throughput, img/W, accuracy
+//
+// The paper's Listing-1 NCAPI workflow remains available for
+// hand-wired sessions:
 //
 //	env := repro.NewEnv()
 //	devices, _ := repro.NewNCSTestbed(env, 1, repro.Seed(1))
@@ -44,6 +60,7 @@ import (
 	"repro/internal/imagenet"
 	"repro/internal/ncs"
 	"repro/internal/nn"
+	"repro/internal/pipeline"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/tensor"
@@ -157,6 +174,9 @@ func DefaultVPUConfig() VPUConfig { return vpu.DefaultConfig() }
 // NewNCSTestbed assembles n Neural Compute Sticks on the paper's
 // Fig. 5 USB topology (two sticks on motherboard ports, the rest
 // behind two USB 3.0 hubs) inside env.
+//
+// Deprecated: NewSession(WithVPUs(n)) owns testbed assembly; use this
+// only for hand-wired NCAPI experiments.
 func NewNCSTestbed(env *Env, n int, seed *Rand) ([]*NCSDevice, error) {
 	_, ports, err := usb.Testbed(env, usb.DefaultConfig(), n)
 	if err != nil {
@@ -201,11 +221,156 @@ type (
 	Scheduling = core.Scheduling
 )
 
-// Scheduling policies.
+// Scheduling policies (the multi-VPU target's internal dispatch).
 const (
 	RoundRobin = core.RoundRobin
 	Dynamic    = core.Dynamic
 )
+
+// Device groups and routing (the Pool composite target).
+type (
+	// Pool is a Target over N child targets — a composite device
+	// group with a pluggable scheduler. Pools nest: a pool of (CPU,
+	// pool of VPUs) is just another target.
+	Pool = core.Pool
+	// PoolOptions configures a Pool.
+	PoolOptions = core.PoolOptions
+	// Routing selects how work is distributed across device groups.
+	Routing = core.Routing
+)
+
+// Routing policies for device groups.
+const (
+	// StaticSplit partitions a finite source into contiguous
+	// per-group blocks sized by the weights.
+	StaticSplit = core.RouteStatic
+	// RoundRobinSplit deals item k to group k mod N — the pool-level
+	// analogue of the paper's static multi-VPU scheduling.
+	RoundRobinSplit = core.RouteRoundRobin
+	// WorkStealing lets every group pull from the shared source;
+	// whichever device is free takes the next item.
+	WorkStealing = core.RouteWorkStealing
+	// WeightedByThroughput deals items in proportion to each group's
+	// weight — explicit weights when configured, otherwise weights
+	// that adapt to observed completion rates.
+	WeightedByThroughput = core.RouteWeighted
+)
+
+// NewPool builds a device group over child targets.
+func NewPool(children []Target, opts PoolOptions) (*Pool, error) {
+	return core.NewPool(children, opts)
+}
+
+// Sessions: the declarative front door.
+type (
+	// Session owns one classification run end to end: environment,
+	// dataset, network, compiled graph, devices, targets, collection.
+	Session = pipeline.Session
+	// SessionConfig is the resolved session description (the options
+	// build one; NewSessionFromConfig accepts one directly).
+	SessionConfig = pipeline.Config
+	// SessionOption customizes a session under construction.
+	SessionOption = pipeline.Option
+	// DeviceGroup declares one device group of a session.
+	DeviceGroup = pipeline.Group
+	// GroupKind identifies a group's device family.
+	GroupKind = pipeline.GroupKind
+	// Report is the unified outcome of a session run.
+	Report = pipeline.Report
+	// TargetReport is the per-group slice of a Report.
+	TargetReport = pipeline.TargetReport
+)
+
+// Device group kinds.
+const (
+	CPUGroup    = pipeline.GroupCPU
+	GPUGroup    = pipeline.GroupGPU
+	VPUGroup    = pipeline.GroupVPU
+	CustomGroup = pipeline.GroupCustom
+)
+
+// NewSession builds a declarative classification session. At least
+// one device group option (WithCPU, WithGPU, WithVPUs, WithTarget,
+// WithGroup) is required.
+func NewSession(opts ...SessionOption) (*Session, error) { return pipeline.New(opts...) }
+
+// NewSessionFromConfig builds a session from an explicit config.
+func NewSessionFromConfig(cfg SessionConfig) (*Session, error) { return pipeline.NewFromConfig(cfg) }
+
+// WithDataset sets the synthetic dataset configuration.
+func WithDataset(cfg DatasetConfig) SessionOption { return pipeline.WithDataset(cfg) }
+
+// WithImages limits the run to the first n dataset images.
+func WithImages(n int) SessionOption { return pipeline.WithImages(n) }
+
+// WithFunctional toggles real numeric inference (default off: pure
+// performance, devices pay full simulated costs but skip arithmetic).
+func WithFunctional(on bool) SessionOption { return pipeline.WithFunctional(on) }
+
+// WithSeed sets the simulation seed for every stochastic component.
+func WithSeed(seed uint64) SessionOption { return pipeline.WithSeed(seed) }
+
+// WithNetSeed sets the network weight seed (default 42).
+func WithNetSeed(seed uint64) SessionOption { return pipeline.WithNetSeed(seed) }
+
+// WithRouting selects the device-group scheduler (default
+// WeightedByThroughput).
+func WithRouting(r Routing) SessionOption { return pipeline.WithRouting(r) }
+
+// WithQueueDepth bounds the per-group feed queues of the dealt
+// routing policies (default 2).
+func WithQueueDepth(d int) SessionOption { return pipeline.WithQueueDepth(d) }
+
+// WithRetain keeps every per-inference Result on the report.
+func WithRetain(on bool) SessionOption { return pipeline.WithRetain(on) }
+
+// WithTimeline attaches a Fig. 4 execution timeline to every group.
+func WithTimeline(tl *Timeline) SessionOption { return pipeline.WithTimeline(tl) }
+
+// WithCPU adds a Caffe-MKL CPU group at the given batch size.
+func WithCPU(batch int) SessionOption { return pipeline.WithCPU(batch) }
+
+// WithGPU adds a Caffe-cuDNN GPU group at the given batch size.
+func WithGPU(batch int) SessionOption { return pipeline.WithGPU(batch) }
+
+// WithVPUs adds a group of n Neural Compute Sticks running the
+// parallel NCSw pipeline.
+func WithVPUs(n int) SessionOption { return pipeline.WithVPUs(n) }
+
+// WithVPUOptions adds a VPU group with explicit pipeline options
+// (scheduling, overlap, host overhead).
+func WithVPUOptions(n int, opts VPUOptions) SessionOption { return pipeline.WithVPUOptions(n, opts) }
+
+// WithTarget adds a custom Target as its own device group.
+func WithTarget(t Target) SessionOption { return pipeline.WithTarget(t) }
+
+// WithGroup adds a fully specified device group (explicit weights,
+// VPU overrides).
+func WithGroup(g DeviceGroup) SessionOption { return pipeline.WithGroup(g) }
+
+// WithStream replaces the dataset source with a push-style stream of
+// the given buffer capacity (0 = unbounded); feed it via
+// Session.Stream from a producer process on Session.Env.
+func WithStream(capacity int) SessionOption { return pipeline.WithStream(capacity) }
+
+// WithGoogLeNet forces the full BVLC GoogLeNet workload.
+func WithGoogLeNet() SessionOption { return pipeline.WithGoogLeNet() }
+
+// WithNetwork supplies a prebuilt workload network, used as-is (no
+// construction or classifier calibration) — share one network across
+// several sessions.
+func WithNetwork(g *Graph) SessionOption { return pipeline.WithNetwork(g) }
+
+// WithBlob supplies a precompiled NCS graph file for the VPU groups,
+// skipping per-session compilation; pair with WithNetwork.
+func WithBlob(blob []byte) SessionOption { return pipeline.WithBlob(blob) }
+
+// WithMicroNet forces the scaled-down inception network with the
+// given geometry.
+func WithMicroNet(cfg MicroConfig) SessionOption { return pipeline.WithMicroNet(cfg) }
+
+// WithTemperature overrides the prototype-classifier softmax scale.
+func WithTemperature(t float32) SessionOption { return pipeline.WithTemperature(t) }
 
 // NewCollector creates a result collector; retain keeps every result.
 func NewCollector(retain bool) *Collector { return core.NewCollector(retain) }
@@ -214,12 +379,18 @@ func NewCollector(retain bool) *Collector { return core.NewCollector(retain) }
 func DefaultVPUOptions() VPUOptions { return core.DefaultVPUOptions() }
 
 // NewVPUTarget builds the parallel multi-VPU target over devices.
+//
+// Deprecated: NewSession(WithVPUs(n)) builds and runs this target;
+// use this only when hand-wiring targets to sources.
 func NewVPUTarget(devices []*NCSDevice, blob []byte, opts VPUOptions) (*VPUTarget, error) {
 	return core.NewVPUTarget(devices, blob, opts)
 }
 
 // NewCPUTarget builds the Caffe-MKL-style CPU target for the graph's
 // workload at the given batch size.
+//
+// Deprecated: NewSession(WithCPU(batch)) builds and runs this target;
+// use this only when hand-wiring targets to sources.
 func NewCPUTarget(g *Graph, batch int, functional bool, seed *Rand) (*BatchTarget, error) {
 	eng, err := devsim.NewCPU(devsim.DefaultCPUConfig(), devsim.WorkloadOf(g), seed)
 	if err != nil {
@@ -229,6 +400,9 @@ func NewCPUTarget(g *Graph, batch int, functional bool, seed *Rand) (*BatchTarge
 }
 
 // NewGPUTarget builds the Caffe-cuDNN-style GPU target.
+//
+// Deprecated: NewSession(WithGPU(batch)) builds and runs this target;
+// use this only when hand-wiring targets to sources.
 func NewGPUTarget(g *Graph, batch int, functional bool, seed *Rand) (*BatchTarget, error) {
 	eng, err := devsim.NewGPU(devsim.DefaultGPUConfig(), devsim.WorkloadOf(g), seed)
 	if err != nil {
@@ -238,6 +412,9 @@ func NewGPUTarget(g *Graph, batch int, functional bool, seed *Rand) (*BatchTarge
 }
 
 // NewDatasetSource serves images [lo, hi) of a synthetic dataset.
+//
+// Deprecated: sessions build their own dataset source (WithImages);
+// use this only when hand-wiring targets to sources.
 func NewDatasetSource(ds *Dataset, lo, hi int, functional bool) (Source, error) {
 	return core.NewDatasetSource(ds, lo, hi, functional)
 }

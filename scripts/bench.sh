@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Regenerate the paper's evaluation benchmarks at CI scale into
+# .bench/ (one benchmark per figure; see bench_test.go). Override the
+# measuring window with NCSW_BENCH_TIME, the output file with
+# NCSW_BENCH_OUT.
+set -eu
+
+OUT_FILE=${NCSW_BENCH_OUT:-.bench/figures.txt}
+BENCH_TIME=${NCSW_BENCH_TIME:-200ms}
+
+mkdir -p "$(dirname "$OUT_FILE")"
+
+go test . \
+	-run '^$' \
+	-bench . \
+	-benchtime "$BENCH_TIME" | tee "$OUT_FILE"

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# CI gate: formatting, vet, build, tests. Run from the repo root.
+set -eu
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:"
+	echo "$unformatted"
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
