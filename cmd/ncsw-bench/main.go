@@ -10,9 +10,12 @@
 //	ncsw-bench -experiment fig6a       # one artefact
 //	ncsw-bench -markdown > tables.md   # EXPERIMENTS.md fragments
 //	ncsw-bench -hetero                 # device-group session demo
+//	ncsw-bench -serve                  # tail latency vs offered load
+//	ncsw-bench -serve -json            # machine-readable serving points
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -36,6 +39,10 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit GitHub markdown instead of aligned text")
 	hetero := flag.Bool("hetero", false,
 		"run the heterogeneous device-group session (CPU + GPU + 4 VPUs) instead of the figures")
+	serve := flag.Bool("serve", false,
+		"run the serving experiment (tail latency vs offered load per device group)")
+	jsonOut := flag.Bool("json", false,
+		"with -serve: emit the serving points as JSON (the BENCH_PR*.json format)")
 	flag.Parse()
 
 	if *hetero {
@@ -68,7 +75,20 @@ func main() {
 
 	ids := repro.ExperimentIDs()
 	if *experiment != "all" {
+		if *serve {
+			log.Fatal("-serve and -experiment are mutually exclusive (use -experiment serving to mix)")
+		}
 		ids = strings.Split(*experiment, ",")
+	}
+	if *jsonOut && !*serve {
+		log.Fatal("-json requires -serve (only the serving points have a JSON form)")
+	}
+	if *serve {
+		if *jsonOut {
+			emitServingJSON(h)
+			return
+		}
+		ids = []string{"serving"}
 	}
 	for _, id := range ids {
 		start := time.Now()
@@ -82,6 +102,26 @@ func main() {
 			fmt.Println(tbl.String())
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", tbl.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// emitServingJSON runs the serving experiment and emits the
+// machine-readable points (per device group: achieved img/s and tail
+// latency per offered load) that scripts/bench.sh stores as
+// BENCH_PR2.json. The human-readable table goes through the regular
+// experiment dispatch ("serving").
+func emitServingJSON(h *repro.Benchmarks) {
+	points, err := h.ServingPoints()
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Experiment string               `json:"experiment"`
+		Points     []repro.ServingPoint `json:"points"`
+	}{Experiment: "serving", Points: points}); err != nil {
+		log.Fatal(err)
 	}
 }
 

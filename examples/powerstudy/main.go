@@ -12,11 +12,24 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"strconv"
 
 	"repro"
 )
 
-const images = 400
+var images = imagesFromEnv(400)
+
+// imagesFromEnv returns the NCSW_EXAMPLE_IMAGES override (the smoke
+// test runs every example at tiny scale) or def.
+func imagesFromEnv(def int) int {
+	if s := os.Getenv("NCSW_EXAMPLE_IMAGES"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
 
 func main() {
 	log.SetFlags(0)

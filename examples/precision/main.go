@@ -11,11 +11,24 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"os"
+	"strconv"
 
 	"repro"
 )
 
-const images = 300
+var images = imagesFromEnv(300)
+
+// imagesFromEnv returns the NCSW_EXAMPLE_IMAGES override (the smoke
+// test runs every example at tiny scale) or def.
+func imagesFromEnv(def int) int {
+	if s := os.Getenv("NCSW_EXAMPLE_IMAGES"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
 
 func main() {
 	log.SetFlags(0)
@@ -70,7 +83,7 @@ func main() {
 		}
 	}
 
-	pct := func(n int) float64 { return float64(n) / images * 100 }
+	pct := func(n int) float64 { return float64(n) / float64(images) * 100 }
 	fmt.Printf("FP32 vs FP16 on %d synthetic validation images (paper Fig. 7):\n\n", images)
 	fmt.Printf("top-1 error FP32 (CPU path):        %.2f%%\n", pct(wrong32))
 	fmt.Printf("top-1 error FP16 (VPU path):        %.2f%%   (paper: 0.09%% apart)\n", pct(wrong16))

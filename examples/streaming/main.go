@@ -11,15 +11,27 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"strconv"
 	"time"
 
 	"repro"
 )
 
-const (
-	streamed      = 240
-	frameInterval = 25 * time.Millisecond
-)
+const frameInterval = 25 * time.Millisecond
+
+var streamed = imagesFromEnv(240)
+
+// imagesFromEnv returns the NCSW_EXAMPLE_IMAGES override (the smoke
+// test runs every example at tiny scale) or def.
+func imagesFromEnv(def int) int {
+	if s := os.Getenv("NCSW_EXAMPLE_IMAGES"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
 
 func main() {
 	log.SetFlags(0)

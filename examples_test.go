@@ -1,0 +1,35 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"testing"
+)
+
+// TestExamplesSmoke builds and runs every example at tiny scale
+// (NCSW_EXAMPLE_IMAGES caps the session sizes), asserting a clean
+// exit and non-empty output — the examples are the documented entry
+// points and previously had zero coverage. Skipped under -short.
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test skipped in -short mode")
+	}
+	examples := []string{
+		"quickstart", "multivpu", "streaming", "precision", "powerstudy", "serving",
+	}
+	for _, name := range examples {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			cmd.Env = append(os.Environ(), "NCSW_EXAMPLE_IMAGES=16")
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s produced no output", name)
+			}
+		})
+	}
+}

@@ -191,6 +191,7 @@ func (h *Harness) All() ([]*Table, error) {
 		{"ablation", h.Ablation},
 		{"precision", func() (*Table, error) { return h.PrecisionAblation(precisionImages(h.cfg)) }},
 		{"gemm", h.GEMMStudy},
+		{"serving", h.Serving},
 	}
 	var out []*Table
 	for _, g := range gens {
@@ -226,6 +227,8 @@ func (h *Harness) Experiment(id string) (*Table, error) {
 		return h.PrecisionAblation(precisionImages(h.cfg))
 	case "gemm":
 		return h.GEMMStudy()
+	case "serving":
+		return h.Serving()
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", id, ExperimentIDs())
 	}
@@ -247,5 +250,5 @@ func precisionImages(cfg Config) int {
 // ExperimentIDs lists the available artefacts: the paper's figures in
 // order, the headline summary, and the beyond-the-paper studies.
 func ExperimentIDs() []string {
-	return []string{"fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "summary", "ablation", "precision", "gemm"}
+	return []string{"fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "summary", "ablation", "precision", "gemm", "serving"}
 }

@@ -91,8 +91,48 @@ func TestExperimentDispatch(t *testing.T) {
 		t.Error("unknown experiment accepted")
 	}
 	ids := ExperimentIDs()
-	if len(ids) != 10 {
+	if len(ids) != 11 {
 		t.Errorf("ExperimentIDs = %v", ids)
+	}
+}
+
+// TestServingShape asserts the serving experiment's qualitative
+// content at quick scale: rows for every (config, load) plus capacity
+// probes, service time roughly flat across loads, and overload (110%)
+// p99 clearly above the 50%-load p99 on every configuration.
+func TestServingShape(t *testing.T) {
+	pts, err := harness(t).ServingPoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nCfg := len(servingConfigs())
+	if want := nCfg * (len(servingLoads) + 1); len(pts) != want {
+		t.Fatalf("%d serving points, want %d", len(pts), want)
+	}
+	p99 := map[string]map[float64]float64{}
+	for _, p := range pts {
+		if p.LoadFraction == 0 {
+			if p.AchievedIPS <= 0 {
+				t.Errorf("%s: capacity probe %.2f img/s", p.Device, p.AchievedIPS)
+			}
+			continue
+		}
+		if p99[p.Device] == nil {
+			p99[p.Device] = map[float64]float64{}
+		}
+		p99[p.Device][p.LoadFraction] = p.P99MS
+		if p.P50MS <= 0 || p.P99MS < p.P95MS || p.P95MS < p.P50MS || p.MaxMS < p.P99MS {
+			t.Errorf("%s@%.0f%%: inconsistent quantiles %+v", p.Device, p.LoadFraction*100, p)
+		}
+		if p.ServiceMeanMS <= 0 {
+			t.Errorf("%s@%.0f%%: no service time", p.Device, p.LoadFraction*100)
+		}
+	}
+	for dev, byLoad := range p99 {
+		if byLoad[1.1] <= byLoad[0.5] {
+			t.Errorf("%s: overload p99 %.1fms not above 50%%-load p99 %.1fms",
+				dev, byLoad[1.1], byLoad[0.5])
+		}
 	}
 }
 

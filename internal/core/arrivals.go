@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Arrivals describes an open-loop arrival process: the instants at
+// which work becomes visible to the serving system, independent of how
+// fast the devices drain it. Construct one with
+// DeterministicArrivals, PoissonArrivals, BurstyArrivals or
+// TraceArrivals, and feed it to NewArrivalSource (or the session's
+// WithArrivals option).
+type Arrivals interface {
+	fmt.Stringer
+	// start returns a fresh arrival-instant generator for one run.
+	// Successive calls yield non-decreasing absolute instants;
+	// ok=false ends the process (only trace replay is finite). The
+	// generator owns all process state, so one Arrivals value is
+	// reusable across runs and produces identical instants given an
+	// identically seeded source.
+	start(r *rng.Source) func() (time.Duration, bool)
+}
+
+// DeterministicArrivals is a constant-rate process: one arrival every
+// 1/rate seconds. It panics when rate is not positive.
+func DeterministicArrivals(ratePerSec float64) Arrivals {
+	mustPositiveRate(ratePerSec)
+	return deterministicArrivals{rate: ratePerSec}
+}
+
+type deterministicArrivals struct{ rate float64 }
+
+func (a deterministicArrivals) String() string {
+	return fmt.Sprintf("deterministic(%.4g/s)", a.rate)
+}
+
+func (a deterministicArrivals) start(_ *rng.Source) func() (time.Duration, bool) {
+	period := time.Duration(float64(time.Second) / a.rate)
+	next := period
+	return func() (time.Duration, bool) {
+		t := next
+		next += period
+		return t, true
+	}
+}
+
+// PoissonArrivals is a memoryless process at the given mean rate:
+// exponentially distributed interarrival gaps, the standard model for
+// aggregate request traffic from many independent users. It panics
+// when rate is not positive.
+func PoissonArrivals(ratePerSec float64) Arrivals {
+	mustPositiveRate(ratePerSec)
+	return poissonArrivals{rate: ratePerSec}
+}
+
+type poissonArrivals struct{ rate float64 }
+
+func (a poissonArrivals) String() string { return fmt.Sprintf("poisson(%.4g/s)", a.rate) }
+
+func (a poissonArrivals) start(r *rng.Source) func() (time.Duration, bool) {
+	var now time.Duration
+	return func() (time.Duration, bool) {
+		// Inverse-CDF exponential gap; 1-U is in (0, 1] so Log never
+		// sees zero.
+		gap := -math.Log(1-r.Float64()) / a.rate
+		now += time.Duration(gap * float64(time.Second))
+		return now, true
+	}
+}
+
+// BurstyArrivals is an on/off process: deterministic arrivals at
+// ratePerSec for on, then silence for off, repeating — the worst-case
+// pattern for bounded feed queues. It panics when rate is not
+// positive, either phase is negative, or the on-phase is too short to
+// contain even one arrival at the given rate (such a "burst" would
+// never emit anything).
+func BurstyArrivals(ratePerSec float64, on, off time.Duration) Arrivals {
+	mustPositiveRate(ratePerSec)
+	if on <= 0 || off < 0 {
+		panic(fmt.Sprintf("core: bursty arrivals need on > 0 and off >= 0 (got %v/%v)", on, off))
+	}
+	if time.Duration(float64(time.Second)/ratePerSec) > on {
+		panic(fmt.Sprintf("core: bursty on-phase %v holds no arrivals at %g/s (period %v)",
+			on, ratePerSec, time.Duration(float64(time.Second)/ratePerSec)))
+	}
+	return burstyArrivals{rate: ratePerSec, on: on, off: off}
+}
+
+type burstyArrivals struct {
+	rate    float64
+	on, off time.Duration
+}
+
+func (a burstyArrivals) String() string {
+	return fmt.Sprintf("bursty(%.4g/s, %v on / %v off)", a.rate, a.on, a.off)
+}
+
+func (a burstyArrivals) start(_ *rng.Source) func() (time.Duration, bool) {
+	period := time.Duration(float64(time.Second) / a.rate)
+	var cycleStart time.Duration
+	next := period
+	return func() (time.Duration, bool) {
+		// Roll past any cycle whose on-window the candidate overshot.
+		// The constructor guarantees period <= on, so the loop settles
+		// on the first arrival of the next cycle after one step.
+		for next-cycleStart > a.on {
+			cycleStart += a.on + a.off
+			next = cycleStart + period
+		}
+		t := next
+		next += period
+		return t, true
+	}
+}
+
+// TraceArrivals replays explicit absolute arrival instants (a recorded
+// production trace). The instants are copied and sorted; the process
+// ends when the trace does, so any items remaining in the wrapped
+// source never arrive. It panics on an empty trace or a negative
+// instant.
+func TraceArrivals(instants []time.Duration) Arrivals {
+	if len(instants) == 0 {
+		panic("core: empty arrival trace")
+	}
+	ts := append([]time.Duration(nil), instants...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	if ts[0] < 0 {
+		panic(fmt.Sprintf("core: negative arrival instant %v in trace", ts[0]))
+	}
+	return traceArrivals{instants: ts}
+}
+
+type traceArrivals struct{ instants []time.Duration }
+
+func (a traceArrivals) String() string { return fmt.Sprintf("trace(%d arrivals)", len(a.instants)) }
+
+func (a traceArrivals) start(_ *rng.Source) func() (time.Duration, bool) {
+	i := 0
+	return func() (time.Duration, bool) {
+		if i >= len(a.instants) {
+			return 0, false
+		}
+		t := a.instants[i]
+		i++
+		return t, true
+	}
+}
+
+// DelayedArrivals shifts every instant of arr by delay — e.g. to
+// start offered load only once a device group's one-time setup
+// (firmware boot, graph allocation) is behind it, so the measured
+// latency reflects steady-state serving rather than boot backlog. It
+// panics on a negative delay.
+func DelayedArrivals(arr Arrivals, delay time.Duration) Arrivals {
+	if arr == nil {
+		panic("core: delayed arrivals need a wrapped process")
+	}
+	if delay < 0 {
+		panic(fmt.Sprintf("core: negative arrival delay %v", delay))
+	}
+	return delayedArrivals{inner: arr, delay: delay}
+}
+
+type delayedArrivals struct {
+	inner Arrivals
+	delay time.Duration
+}
+
+func (a delayedArrivals) String() string {
+	return fmt.Sprintf("%v after %v", a.inner, a.delay)
+}
+
+func (a delayedArrivals) start(r *rng.Source) func() (time.Duration, bool) {
+	gen := a.inner.start(r)
+	return func() (time.Duration, bool) {
+		t, ok := gen()
+		return t + a.delay, ok
+	}
+}
+
+func mustPositiveRate(rate float64) {
+	if !(rate > 0) || math.IsInf(rate, 1) {
+		panic(fmt.Sprintf("core: arrival rate must be positive and finite (got %g)", rate))
+	}
+}
+
+// ArrivalSource turns any source into an open-loop traffic source: a
+// simulation process pulls the wrapped source and makes each item
+// visible only at its arrival instant, stamping Item.ArrivedAt. Until
+// then, consumers block in virtual time — so a batch target cannot
+// eagerly drain a dataset whose items "exist" up front, and
+// RouteWorkStealing behaves like real request traffic.
+//
+// The stream ends when the wrapped source is exhausted (or, for trace
+// replay, when the trace ends). Multiple consumers may share one
+// ArrivalSource: exhaustion is re-posted so every consumer terminates,
+// exactly like StreamSource.
+type ArrivalSource struct {
+	q     *sim.Queue[Item]
+	inner Source
+}
+
+// NewArrivalSource wraps inner with the arrival process, driving it
+// from a new process in env. seed drives the stochastic processes
+// (Poisson); deterministic processes ignore it. The returned source is
+// ready immediately; arrivals unfold once env runs.
+func NewArrivalSource(env *sim.Env, inner Source, arr Arrivals, seed *rng.Source) (*ArrivalSource, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("core: arrival source needs a wrapped source")
+	}
+	if arr == nil {
+		return nil, fmt.Errorf("core: arrival source needs an arrival process")
+	}
+	if seed == nil {
+		seed = rng.New(1)
+	}
+	s := &ArrivalSource{q: sim.NewQueue[Item](env, "core/arrivals", 0), inner: inner}
+	env.Process("arrivals", func(p *sim.Proc) {
+		gen := arr.start(seed)
+		for {
+			// Pull before sleeping so exhaustion is detected at the
+			// last item's arrival instant, not one arrival later.
+			item, ok := s.inner.Next(p)
+			if !ok {
+				break
+			}
+			if item.Index == -1 {
+				// Same producer-protocol bug StreamSource.Push rejects:
+				// a user item carrying the reserved sentinel index
+				// would silently truncate the stream for consumers.
+				panic("core: arrival item with reserved Index -1 (the end-of-stream sentinel)")
+			}
+			at, more := gen()
+			if !more {
+				break
+			}
+			if at > p.Now() {
+				p.Sleep(at - p.Now())
+			}
+			item.ArrivedAt = p.Now()
+			s.q.Put(p, item)
+		}
+		s.q.Put(p, Item{Index: -1}) // end-of-stream sentinel
+	})
+	return s, nil
+}
+
+// Remaining implements Sized: items not yet arrived plus items
+// arrived but not yet consumed, when the wrapped source can count
+// them. Unsized inner sources report 0, which RouteStatic rejects as
+// an empty partition — an arrival-wrapped stream cannot be split
+// statically, same as the stream itself.
+func (s *ArrivalSource) Remaining() int {
+	if sized, ok := s.inner.(Sized); ok {
+		return sized.Remaining() + s.q.Len()
+	}
+	return 0
+}
+
+// Next implements Source: it blocks in virtual time until the next
+// item arrives.
+func (s *ArrivalSource) Next(p *sim.Proc) (Item, bool) {
+	item := s.q.Get(p)
+	if item.Index == -1 {
+		// Re-post the sentinel so every consumer terminates.
+		s.q.TryPut(Item{Index: -1})
+		return Item{}, false
+	}
+	return item, true
+}

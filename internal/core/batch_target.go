@@ -90,14 +90,19 @@ func (t *BatchTarget) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 		job.StartedAt = p.Now()
 		job.ReadyAt = p.Now()
 		batch := make([]Item, 0, t.batchSize)
+		pulls := make([]time.Duration, 0, t.batchSize)
 		for {
 			batch = batch[:0]
+			pulls = pulls[:0]
 			for len(batch) < t.batchSize {
 				item, ok := src.Next(p)
 				if !ok {
 					break
 				}
 				batch = append(batch, item)
+				// The pull instant is when the item joined the
+				// assembling batch — its DispatchedAt.
+				pulls = append(pulls, p.Now())
 			}
 			if len(batch) == 0 {
 				break
@@ -106,7 +111,7 @@ func (t *BatchTarget) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 			d := t.engine.NextBatchDuration(len(batch))
 			p.Sleep(d)
 			t.timeline.Add(t.name, trace.Compute, start, p.Now(), fmt.Sprintf("batch=%d", len(batch)))
-			t.emit(batch, start, p.Now(), sink, job)
+			t.emit(batch, pulls, start, p.Now(), sink, job)
 			job.Images += len(batch)
 		}
 		job.Finish(p)
@@ -116,7 +121,7 @@ func (t *BatchTarget) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 
 // emit produces one Result per batch item, running the functional
 // forward pass when enabled.
-func (t *BatchTarget) emit(batch []Item, start, end time.Duration, sink func(Result), job *Job) {
+func (t *BatchTarget) emit(batch []Item, pulls []time.Duration, start, end time.Duration, sink func(Result), job *Job) {
 	var outputs *tensor.T
 	if t.functional {
 		in, ok := t.stack(batch)
@@ -137,12 +142,14 @@ func (t *BatchTarget) emit(batch []Item, start, end time.Duration, sink func(Res
 	}
 	for i, item := range batch {
 		r := Result{
-			Index:  item.Index,
-			Label:  item.Label,
-			Pred:   -1,
-			Start:  start,
-			End:    end,
-			Device: t.name,
+			Index:        item.Index,
+			Label:        item.Label,
+			Pred:         -1,
+			Start:        start,
+			End:          end,
+			ArrivedAt:    item.ArrivedAt,
+			DispatchedAt: pulls[i],
+			Device:       t.name,
 		}
 		if outputs != nil {
 			row := tensor.FromSlice(outputs.Data[i*classes:(i+1)*classes], classes)

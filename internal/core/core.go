@@ -35,6 +35,12 @@ type Item struct {
 	Index int
 	Image *tensor.T
 	Label int
+	// ArrivedAt is the virtual instant the item became visible to the
+	// serving system: the arrival instant under an ArrivalSource, the
+	// Push instant on a stream, or the pull instant for closed-loop
+	// (pull-on-demand) sources. Targets carry it onto the Result so
+	// queueing delay is separable from service time.
+	ArrivedAt time.Duration
 }
 
 // Source produces items. Next blocks in virtual time when the source
@@ -56,11 +62,43 @@ type Result struct {
 	Output *tensor.T
 	// Start/End are virtual timestamps of the inference span.
 	Start, End time.Duration
+	// ArrivedAt is when the item became visible to the serving system
+	// (copied from Item.ArrivedAt); End-ArrivedAt is the per-item
+	// serving latency, Start-ArrivedAt the queueing delay.
+	ArrivedAt time.Duration
+	// DispatchedAt is when the item left its queue into the device
+	// pipeline (a VPU worker dequeued it, a batch target pulled it into
+	// the assembling batch); it separates feed-queue wait from batch
+	// assembly / transfer time.
+	DispatchedAt time.Duration
 	// Device identifies which device produced the result.
 	Device string
 	// Err records a functional inference failure.
 	Err error
 }
+
+// Wait returns the queueing delay: arrival to service start. It is
+// only meaningful when the producing target copied Item.ArrivedAt
+// onto the result (see Target); a target that leaves ArrivedAt zero
+// makes Wait measure from the start of the simulation.
+func (r Result) Wait() time.Duration {
+	if w := r.Start - r.ArrivedAt; w > 0 {
+		return w
+	}
+	return 0
+}
+
+// ServiceTime returns the in-device span, service start to completion.
+func (r Result) ServiceTime() time.Duration {
+	if s := r.End - r.Start; s > 0 {
+		return s
+	}
+	return 0
+}
+
+// Latency returns the full per-item serving latency, arrival to
+// completion.
+func (r Result) Latency() time.Duration { return r.Wait() + r.ServiceTime() }
 
 // Job tracks one target run. Its fields become meaningful as the
 // simulation advances; read them after Env.Run returns.
@@ -145,7 +183,10 @@ func (j *Job) Throughput() float64 {
 // Start registers simulation processes and returns immediately; the
 // caller then drives env.Run. Implementations must call Job.Finish
 // (in the target's own process) on every terminal path — that is the
-// completion signal composite targets join on.
+// completion signal composite targets join on. They should also copy
+// Item.ArrivedAt onto each Result (and stamp DispatchedAt when the
+// item leaves its queue) so the latency lifecycle stays intact;
+// otherwise Collector latency splits are meaningless for the target.
 type Target interface {
 	Name() string
 	TDPWatts() float64
@@ -180,14 +221,17 @@ func NewDatasetSource(ds *imagenet.Dataset, lo, hi int, functional bool) (*Datas
 // Remaining implements Sized.
 func (s *DatasetSource) Remaining() int { return s.hi - s.next }
 
-// Next implements Source.
-func (s *DatasetSource) Next(_ *sim.Proc) (Item, bool) {
+// Next implements Source. Items are stamped as arriving at the pull
+// instant (closed-loop semantics: the next request "arrives" the
+// moment a device asks for it); wrap the source in an ArrivalSource
+// for open-loop arrivals.
+func (s *DatasetSource) Next(p *sim.Proc) (Item, bool) {
 	if s.next >= s.hi {
 		return Item{}, false
 	}
 	i := s.next
 	s.next++
-	item := Item{Index: i, Label: s.ds.Label(i)}
+	item := Item{Index: i, Label: s.ds.Label(i), ArrivedAt: p.Now()}
 	if s.functional {
 		item.Image = s.ds.Preprocessed(i)
 	}
@@ -208,13 +252,16 @@ func NewSliceSource(items []Item) *SliceSource {
 // Remaining implements Sized.
 func (s *SliceSource) Remaining() int { return len(s.items) - s.next }
 
-// Next implements Source.
-func (s *SliceSource) Next(_ *sim.Proc) (Item, bool) {
+// Next implements Source. Items arrive at the pull instant
+// (closed-loop), like DatasetSource.
+func (s *SliceSource) Next(p *sim.Proc) (Item, bool) {
 	if s.next >= len(s.items) {
 		return Item{}, false
 	}
 	s.next++
-	return s.items[s.next-1], true
+	item := s.items[s.next-1]
+	item.ArrivedAt = p.Now()
+	return item, true
 }
 
 // StreamSource is the MPI-stream-style source of Fig. 3: producers
@@ -241,6 +288,7 @@ func (s *StreamSource) Push(p *sim.Proc, item Item) {
 	if item.Index == -1 {
 		panic("core: Push with reserved Index -1 (the end-of-stream sentinel)")
 	}
+	item.ArrivedAt = p.Now()
 	s.q.Put(p, item)
 }
 
@@ -277,6 +325,7 @@ type Collector struct {
 	firstStart time.Duration
 	lastEnd    time.Duration
 	any        bool
+	lat        latencyAgg
 }
 
 // NewCollector creates a collector; retain keeps full results.
@@ -303,11 +352,20 @@ func (c *Collector) Sink() func(Result) {
 			c.lastEnd = r.End
 		}
 		c.any = true
+		c.lat.add(r)
 		if c.retain {
 			c.Results = append(c.Results, r)
 		}
 	}
 }
+
+// Latency summarizes the per-item serving-latency distribution of
+// everything the collector has seen: total latency with exact tail
+// quantiles, split into queue wait and service time. Meaningful when
+// the producing targets stamp the Result lifecycle (all built-in
+// targets do); custom targets that stamp nothing report service time
+// only.
+func (c *Collector) Latency() LatencySummary { return c.lat.summary() }
 
 // TopOneError returns the fraction of classified items whose top-1
 // prediction missed (the paper's §IV-B estimation).

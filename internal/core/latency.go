@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// LatencySummary describes the per-item serving-latency distribution
+// of one result stream: total latency (arrival to completion) with
+// tail quantiles, split into queue wait (arrival to service start) and
+// service time (in-device span). Quantiles are exact (stats.Sample):
+// the runs here retain every sample, so no bucketing error enters the
+// tail numbers.
+type LatencySummary struct {
+	// N is the number of items summarized.
+	N int
+	// Mean/P50/P95/P99/Max describe total latency, End-ArrivedAt.
+	Mean, P50, P95, P99, Max time.Duration
+	// QueueMean and QueueP99 describe the queueing delay,
+	// Start-ArrivedAt.
+	QueueMean, QueueP99 time.Duration
+	// ServiceMean and ServiceP99 describe the service time, End-Start.
+	ServiceMean, ServiceP99 time.Duration
+}
+
+// String renders the summary on one line, milliseconds throughout.
+func (l LatencySummary) String() string {
+	ms := func(d time.Duration) float64 { return d.Seconds() * 1e3 }
+	return fmt.Sprintf("latency p50 %.1fms p95 %.1fms p99 %.1fms max %.1fms (queue %.1fms + service %.1fms mean, n=%d)",
+		ms(l.P50), ms(l.P95), ms(l.P99), ms(l.Max), ms(l.QueueMean), ms(l.ServiceMean), l.N)
+}
+
+// latencyAgg accumulates the three per-item distributions a Collector
+// summarizes.
+type latencyAgg struct {
+	total, queue, service stats.Sample
+}
+
+func (a *latencyAgg) add(r Result) {
+	a.queue.Add(r.Wait().Seconds())
+	a.service.Add(r.ServiceTime().Seconds())
+	a.total.Add(r.Latency().Seconds())
+}
+
+func (a *latencyAgg) summary() LatencySummary {
+	if a.total.N() == 0 {
+		return LatencySummary{}
+	}
+	sec := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+	return LatencySummary{
+		N:           a.total.N(),
+		Mean:        sec(a.total.Mean()),
+		P50:         sec(a.total.Quantile(0.50)),
+		P95:         sec(a.total.Quantile(0.95)),
+		P99:         sec(a.total.Quantile(0.99)),
+		Max:         sec(a.total.Max()),
+		QueueMean:   sec(a.queue.Mean()),
+		QueueP99:    sec(a.queue.Quantile(0.99)),
+		ServiceMean: sec(a.service.Mean()),
+		ServiceP99:  sec(a.service.Quantile(0.99)),
+	}
+}

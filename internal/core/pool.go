@@ -37,6 +37,13 @@ const (
 	// process, minimum latency, but batch children may grab eagerly
 	// from sources whose items are all available up front.
 	RouteWorkStealing
+	// RouteLatency deals each item to the child expected to finish it
+	// soonest: an EWMA of each child's observed service time, scaled by
+	// its queued-but-unfinished item count. A full preferred feed
+	// spills the item down the preference order. Built for open-loop
+	// serving (ArrivalSource), where tail latency — not the deal ratio
+	// — is the objective.
+	RouteLatency
 )
 
 // String names the routing policy.
@@ -50,6 +57,8 @@ func (r Routing) String() string {
 		return "work-stealing"
 	case RouteWeighted:
 		return "throughput-weighted"
+	case RouteLatency:
+		return "latency-ewma"
 	}
 	return fmt.Sprintf("routing(%d)", int(r))
 }
@@ -170,10 +179,23 @@ func (pl *Pool) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 	n := len(pl.children)
 	pl.jobs = make([]*Job, n)
 	completed := make([]int, n)
+	ewma := make([]float64, n)
 
 	childSink := func(i int) func(Result) {
 		return func(r Result) {
 			completed[i]++
+			// Track each child's observed service time for RouteLatency
+			// (cheap enough to keep warm under every policy). A batch
+			// result's span covers the whole batch, so the estimate is
+			// an upper bound per item — conservative for batch
+			// children, exact for per-item ones.
+			if obs := r.ServiceTime().Seconds(); obs > 0 {
+				if ewma[i] == 0 {
+					ewma[i] = obs
+				} else {
+					ewma[i] = ewmaAlpha*obs + (1-ewmaAlpha)*ewma[i]
+				}
+			}
 			if pl.opts.OnResult != nil {
 				pl.opts.OnResult(i, r)
 			}
@@ -190,6 +212,9 @@ func (pl *Pool) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 	if pl.opts.Routing == RouteStatic {
 		if sized, ok := src.(Sized); ok {
 			total = sized.Remaining()
+			if total == 0 {
+				routeErr = fmt.Errorf("core: static split needs a non-empty finite source; %T reports 0 items", src)
+			}
 		} else {
 			routeErr = fmt.Errorf("core: static split needs a finite source (implementing Sized); %T is not", src)
 		}
@@ -232,7 +257,7 @@ func (pl *Pool) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 			job.Err = routeErr
 			pl.shutdownFeeds(p, feeds)
 		} else if pl.opts.Routing != RouteWorkStealing {
-			pl.dispatch(p, src, feeds, &orphans, completed, total)
+			pl.dispatch(p, src, feeds, &orphans, completed, ewma, total)
 		}
 		// Join every child, then aggregate.
 		for range pl.children {
@@ -262,7 +287,7 @@ func (pl *Pool) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 // dispatch pulls items from src and deals them to the child feeds
 // according to the routing policy, re-routing items reclaimed from
 // children that shut down early, then closes every feed.
-func (pl *Pool) dispatch(p *sim.Proc, src Source, feeds []*sim.Queue[Item], orphans *[]Item, completed []int, total int) {
+func (pl *Pool) dispatch(p *sim.Proc, src Source, feeds []*sim.Queue[Item], orphans *[]Item, completed []int, ewma []float64, total int) {
 	n := len(feeds)
 	dealt := make([]int, n)
 
@@ -286,6 +311,8 @@ func (pl *Pool) dispatch(p *sim.Proc, src Source, feeds []*sim.Queue[Item], orph
 			target, ok = pl.put(p, feeds, child, item)
 		case RouteRoundRobin:
 			target, ok = pl.put(p, feeds, k%n, item)
+		case RouteLatency:
+			target, ok = pl.dispatchLatency(p, feeds, dealt, completed, ewma, item)
 		default: // RouteWeighted
 			target, ok = pl.dispatchWeighted(p, feeds, dealt, completed, item)
 		}
@@ -388,8 +415,6 @@ func (pl *Pool) staticWeights(n int) []float64 {
 // (weights from observed completions, +1 so cold children stay
 // eligible) a full preferred feed spills the item down the preference
 // order, chasing realized throughput instead of a fixed ratio.
-// Reports which child received the item (ok=false when no child is
-// left alive).
 func (pl *Pool) dispatchWeighted(p *sim.Proc, feeds []*sim.Queue[Item], dealt, completed []int, item Item) (int, bool) {
 	explicit := pl.opts.Weights != nil
 	weight := func(i int) float64 {
@@ -398,6 +423,34 @@ func (pl *Pool) dispatchWeighted(p *sim.Proc, feeds []*sim.Queue[Item], dealt, c
 		}
 		return float64(completed[i] + 1)
 	}
+	deficit := func(i int) float64 { return float64(dealt[i]) / weight(i) }
+	return pl.dispatchByScore(p, feeds, dealt, deficit, !explicit, item)
+}
+
+// ewmaAlpha is the smoothing factor of the per-child service-time
+// estimate behind RouteLatency: recent observations dominate within
+// ~5 completions, slow enough to ride out single-item jitter.
+const ewmaAlpha = 0.2
+
+// dispatchLatency deals the item to the live child with the smallest
+// expected completion time: EWMA service time × (outstanding items +
+// 1). A cold child (no completions yet) scores zero and is probed
+// first, so every child's estimate warms up immediately.
+func (pl *Pool) dispatchLatency(p *sim.Proc, feeds []*sim.Queue[Item], dealt, completed []int, ewma []float64, item Item) (int, bool) {
+	score := func(i int) float64 {
+		outstanding := dealt[i] - completed[i]
+		return ewma[i] * float64(outstanding+1)
+	}
+	return pl.dispatchByScore(p, feeds, dealt, score, true, item)
+}
+
+// dispatchByScore is the dispatch skeleton shared by the scored
+// policies: deal to the live child with the smallest score. With
+// spill, a full preferred feed spills the item down the score order
+// (work-conserving); without, or when every live feed is full, it
+// blocks on the best child. Reports which child received the item
+// (ok=false when no child is left alive).
+func (pl *Pool) dispatchByScore(p *sim.Proc, feeds []*sim.Queue[Item], dealt []int, score func(int) float64, spill bool, item Item) (int, bool) {
 	var order []int
 	for i := range feeds {
 		if !pl.jobs[i].done {
@@ -407,14 +460,13 @@ func (pl *Pool) dispatchWeighted(p *sim.Proc, feeds []*sim.Queue[Item], dealt, c
 	if len(order) == 0 {
 		return 0, false
 	}
-	deficit := func(i int) float64 { return float64(dealt[i]) / weight(i) }
-	// Insertion sort by deficit: n is a handful of devices.
+	// Insertion sort by score: n is a handful of devices.
 	for i := 1; i < len(order); i++ {
-		for j := i; j > 0 && deficit(order[j]) < deficit(order[j-1]); j-- {
+		for j := i; j > 0 && score(order[j]) < score(order[j-1]); j-- {
 			order[j], order[j-1] = order[j-1], order[j]
 		}
 	}
-	if !explicit {
+	if spill {
 		for _, i := range order {
 			if feeds[i].TryPut(item) {
 				dealt[i]++

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/rng"
 	"repro/internal/sim"
 )
 
@@ -36,7 +37,8 @@ func (t *stubTarget) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 			start := p.Now()
 			p.Sleep(t.latency)
 			sink(Result{Index: item.Index, Label: item.Label, Pred: item.Label,
-				Start: start, End: p.Now(), Device: t.name})
+				Start: start, End: p.Now(),
+				ArrivedAt: item.ArrivedAt, DispatchedAt: start, Device: t.name})
 			job.Images++
 		}
 		job.Finish(p)
@@ -83,7 +85,7 @@ func checkConservation(t *testing.T, seen map[int]int, n int, ctx string) {
 // item exactly once, across equal and skewed device groups.
 func TestPoolItemConservation(t *testing.T) {
 	const n = 100
-	for _, routing := range []Routing{RouteStatic, RouteRoundRobin, RouteWorkStealing, RouteWeighted} {
+	for _, routing := range []Routing{RouteStatic, RouteRoundRobin, RouteWorkStealing, RouteWeighted, RouteLatency} {
 		for _, skewed := range []bool{false, true} {
 			children := []Target{
 				&stubTarget{name: "a", latency: time.Millisecond},
@@ -235,7 +237,7 @@ func TestPoolRecursiveComposition(t *testing.T) {
 // reclaimed and re-routed so every item still lands exactly once.
 func TestPoolChildDiesMidRun(t *testing.T) {
 	const n = 40
-	for _, routing := range []Routing{RouteStatic, RouteRoundRobin, RouteWeighted} {
+	for _, routing := range []Routing{RouteStatic, RouteRoundRobin, RouteWeighted, RouteLatency} {
 		children := []Target{
 			&stubTarget{name: "quitter", latency: time.Millisecond, quitAfter: 3},
 			&stubTarget{name: "survivor", latency: time.Millisecond},
@@ -320,5 +322,70 @@ func TestJobThroughputDegenerateWindow(t *testing.T) {
 	normal := &Job{ReadyAt: time.Second, DoneAt: 3 * time.Second, Images: 100}
 	if got := normal.Throughput(); got != 50 {
 		t.Errorf("steady-state Throughput = %g img/s, want 50", got)
+	}
+}
+
+// TestPoolRouteLatencySkewed: on a 10x-skewed pair, latency-aware
+// routing must steer most items to the fast device and finish far
+// sooner than round-robin, like the adaptive policies.
+func TestPoolRouteLatencySkewed(t *testing.T) {
+	const n = 110
+	build := func() []Target {
+		return []Target{
+			&stubTarget{name: "fast", latency: time.Millisecond},
+			&stubTarget{name: "slow", latency: 10 * time.Millisecond},
+		}
+	}
+	_, rrJob, _ := runPool(t, build(), PoolOptions{Routing: RouteRoundRobin}, n)
+	pool, latJob, seen := runPool(t, build(), PoolOptions{Routing: RouteLatency}, n)
+	if latJob.Err != nil {
+		t.Fatal(latJob.Err)
+	}
+	checkConservation(t, seen, n, "latency-ewma")
+	if latJob.Span() >= rrJob.Span()*2/3 {
+		t.Errorf("latency routing span %v not clearly better than round-robin %v",
+			latJob.Span(), rrJob.Span())
+	}
+	jobs := pool.ChildJobs()
+	if jobs[0].Images <= jobs[1].Images*3 {
+		t.Errorf("latency routing split %d/%d; want the fast child far ahead",
+			jobs[0].Images, jobs[1].Images)
+	}
+}
+
+// TestPoolRouteLatencyTailUnderArrivals: under open-loop Poisson
+// traffic on a skewed pair, latency-aware routing must cut the p99
+// latency well below round-robin, which queues half the traffic on
+// the slow device.
+func TestPoolRouteLatencyTailUnderArrivals(t *testing.T) {
+	const n = 200
+	run := func(routing Routing) LatencySummary {
+		env := sim.NewEnv()
+		src, err := NewArrivalSource(env, sliceOf(n), PoissonArrivals(400), rng.New(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool, err := NewPool([]Target{
+			&stubTarget{name: "fast", latency: time.Millisecond},
+			&stubTarget{name: "slow", latency: 10 * time.Millisecond},
+		}, PoolOptions{Routing: routing})
+		if err != nil {
+			t.Fatal(err)
+		}
+		col := NewCollector(false)
+		job := pool.Start(env, src, col.Sink())
+		env.Run()
+		if job.Err != nil {
+			t.Fatalf("%v: %v", routing, job.Err)
+		}
+		if job.Images != n {
+			t.Fatalf("%v: %d images, want %d", routing, job.Images, n)
+		}
+		return col.Latency()
+	}
+	rr := run(RouteRoundRobin)
+	lat := run(RouteLatency)
+	if lat.P99 >= rr.P99/2 {
+		t.Errorf("latency routing p99 %v not clearly below round-robin %v", lat.P99, rr.P99)
 	}
 }

@@ -224,13 +224,15 @@ func (t *VPUTarget) worker(p *sim.Proc, dev *ncs.Device, g *ncs.Graph, q *sim.Qu
 		p.Sleep(t.opts.HostOverhead)
 		tl.Add(dev.Name(), trace.Read, readStart, p.Now(), "")
 		r := Result{
-			Index:  fl.item.Index,
-			Label:  fl.item.Label,
-			Pred:   -1,
-			Start:  fl.start,
-			End:    p.Now(),
-			Device: dev.Name(),
-			Err:    res.Err,
+			Index:        fl.item.Index,
+			Label:        fl.item.Label,
+			Pred:         -1,
+			Start:        fl.start,
+			End:          p.Now(),
+			ArrivedAt:    fl.item.ArrivedAt,
+			DispatchedAt: fl.start,
+			Device:       dev.Name(),
+			Err:          res.Err,
 		}
 		if res.Output != nil {
 			pred, conf := res.Output.ArgMax()

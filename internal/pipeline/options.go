@@ -90,6 +90,15 @@ func WithGroup(g Group) Option {
 	return func(c *Config) { c.Groups = append(c.Groups, g) }
 }
 
+// WithArrivals wraps the session source in an open-loop arrival
+// process (deterministic, Poisson, bursty or trace replay — see the
+// core constructors): items become visible at their arrival instants
+// instead of on demand, so the report's latency distributions measure
+// real queueing under offered load.
+func WithArrivals(a core.Arrivals) Option {
+	return func(c *Config) { c.Arrivals = a }
+}
+
 // WithStream replaces the dataset source with a push-style stream of
 // the given buffer capacity (0 = unbounded); feed it via
 // Session.Stream from a producer process.

@@ -147,6 +147,12 @@ type Config struct {
 	// a push-style stream of that buffer capacity (0 = unbounded);
 	// drive it through Session.Stream.
 	StreamCapacity *int
+	// Arrivals, when set, wraps the session source in an open-loop
+	// arrival process (core.ArrivalSource): items become visible at
+	// their arrival instants instead of on demand, turning the run
+	// from a drain-the-dataset throughput measurement into a serving
+	// measurement with meaningful queueing delay. Seeded from Seed.
+	Arrivals core.Arrivals
 	// Groups are the device groups (at least one).
 	Groups []Group
 }
@@ -455,6 +461,14 @@ func (s *Session) Run() (*Report, error) {
 			return nil, fmt.Errorf("pipeline: source: %w", err)
 		}
 		src = dsrc
+	}
+	if s.cfg.Arrivals != nil {
+		asrc, err := core.NewArrivalSource(s.env, src, s.cfg.Arrivals,
+			rng.New(s.cfg.Seed).Derive("arrivals"))
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: arrivals: %w", err)
+		}
+		src = asrc
 	}
 
 	merged := core.NewCollector(s.cfg.Retain)

@@ -32,6 +32,12 @@ type TargetReport struct {
 	// paper leaves to future work.
 	EnergyJoules  float64
 	AvgPowerWatts float64
+	// Latency is the group's per-item serving-latency distribution
+	// (total with exact tail quantiles, split into queue wait and
+	// service time). Under closed-loop runs the queue wait reflects
+	// only internal buffering; under WithArrivals it is real queueing
+	// against offered load.
+	Latency core.LatencySummary
 	// Job exposes the raw timing (StartedAt/ReadyAt/DoneAt, Err).
 	Job *core.Job
 	// Collector exposes the raw per-group aggregates.
@@ -55,6 +61,12 @@ type Report struct {
 	MeanConfidence float64
 	// EnergyJoules totals the metered energy of all VPU groups.
 	EnergyJoules float64
+	// Latency is the merged per-item serving-latency distribution
+	// across all groups.
+	Latency core.LatencySummary
+	// Arrivals names the open-loop arrival process driving the run
+	// (nil for closed-loop runs).
+	Arrivals core.Arrivals
 	// SimTime is the total virtual time of the run (including setup).
 	SimTime time.Duration
 	// Routing names the scheduling policy that distributed the work
@@ -76,6 +88,8 @@ func (s *Session) buildReport(job *core.Job, pool *core.Pool, merged *core.Colle
 		Throughput:     job.Throughput(),
 		TopOneError:    merged.TopOneError(),
 		MeanConfidence: merged.MeanConfidence(),
+		Latency:        merged.Latency(),
+		Arrivals:       s.cfg.Arrivals,
 		SimTime:        s.env.Now(),
 		Routing:        s.cfg.Routing,
 		Job:            job,
@@ -96,6 +110,7 @@ func (s *Session) buildReport(job *core.Job, pool *core.Pool, merged *core.Colle
 			TDPWatts:       t.TDPWatts(),
 			TopOneError:    perGroup[i].TopOneError(),
 			MeanConfidence: perGroup[i].MeanConfidence(),
+			Latency:        perGroup[i].Latency(),
 			Job:            tj,
 			Collector:      perGroup[i],
 		}
@@ -132,9 +147,27 @@ func (r *Report) String() string {
 	if len(r.Targets) > 1 {
 		row("total", r.Images, r.Throughput, r.TDPWatts, r.ImagesPerWatt, r.TopOneError, r.EnergyJoules)
 	}
+	if r.Latency.N > 0 {
+		ms := func(d time.Duration) float64 { return d.Seconds() * 1e3 }
+		fmt.Fprintf(&b, "\n%-18s %10s %10s %10s %10s %11s %11s\n",
+			"latency", "p50(ms)", "p95(ms)", "p99(ms)", "max(ms)", "queue(ms)", "service(ms)")
+		lrow := func(name string, l core.LatencySummary) {
+			fmt.Fprintf(&b, "%-18s %10.1f %10.1f %10.1f %10.1f %11.1f %11.1f\n",
+				name, ms(l.P50), ms(l.P95), ms(l.P99), ms(l.Max), ms(l.QueueMean), ms(l.ServiceMean))
+		}
+		for _, t := range r.Targets {
+			lrow(t.Name, t.Latency)
+		}
+		if len(r.Targets) > 1 {
+			lrow("total", r.Latency)
+		}
+	}
 	fmt.Fprintf(&b, "simulated time %v", r.SimTime)
 	if len(r.Targets) > 1 {
 		fmt.Fprintf(&b, ", routing %v", r.Routing)
+	}
+	if r.Arrivals != nil {
+		fmt.Fprintf(&b, ", arrivals %v", r.Arrivals)
 	}
 	b.WriteString("\n")
 	return b.String()

@@ -136,6 +136,74 @@ func Mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
+// Sample is an exact-quantile accumulator: it retains every value, so
+// quantiles are computed from the sorted data rather than bucket
+// midpoints. Use it for the small-to-medium samples of one run (per
+// item latencies); use Histogram when memory must stay bounded. The
+// zero value is ready to use.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add records x.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// N returns the number of recorded values.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Sample) Mean() float64 { return Mean(s.xs) }
+
+// Min returns the smallest value (0 when empty).
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.xs[0]
+}
+
+// Max returns the largest value (0 when empty).
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.xs[len(s.xs)-1]
+}
+
+// Quantile returns the exact q-quantile under the same nearest-rank
+// convention as Histogram.Quantile (the value at index ⌊q·n⌋ of the
+// sorted sample, clamped to the ends), so the two paths agree within
+// one bucket width on the same data. q is clamped to [0, 1]; an empty
+// sample returns 0.
+func (s *Sample) Quantile(q float64) float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	s.sort()
+	i := int(q * float64(n))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return s.xs[i]
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
 // Line is a least-squares fit y = Slope*x + Intercept.
 type Line struct {
 	Slope     float64

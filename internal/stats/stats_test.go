@@ -239,3 +239,95 @@ func TestSummaryString(t *testing.T) {
 		t.Error("empty String()")
 	}
 }
+
+// TestHistogramQuantileFullEdges pins the q=0 / q=1 / empty contracts:
+// empty returns Lo, q=0 the first occupied bucket's midpoint, q=1 Hi.
+func TestHistogramQuantileFullEdges(t *testing.T) {
+	empty := NewHistogram(0, 10, 5)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%g) = %g, want Lo=0", q, got)
+		}
+	}
+
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{1, 3, 5, 7, 9} {
+		h.Add(x)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %g, want first bucket midpoint 1", got)
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Errorf("Quantile(1) = %g, want Hi=10", got)
+	}
+
+	// Out-of-range samples clamp to the bounds.
+	lo := NewHistogram(0, 10, 5)
+	lo.Add(-5)
+	lo.Add(5)
+	if got := lo.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) with an underflow sample = %g, want Lo=0", got)
+	}
+	hi := NewHistogram(0, 10, 5)
+	hi.Add(5)
+	hi.Add(15)
+	if got := hi.Quantile(0.99); got != 10 {
+		t.Errorf("Quantile(0.99) landing on the overflow = %g, want Hi=10", got)
+	}
+}
+
+// TestSampleQuantile pins the exact-quantile accumulator: empty
+// returns 0, q is clamped, and q=0 / q=1 hit min / max.
+func TestSampleQuantile(t *testing.T) {
+	var s Sample
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.N() != 0 {
+		t.Error("empty sample should report zeros")
+	}
+	for _, x := range []float64{5, 1, 4, 2, 3} {
+		s.Add(x)
+	}
+	cases := []struct{ q, want float64 }{
+		{-0.5, 1}, {0, 1}, {0.5, 3}, {0.99, 5}, {1, 5}, {1.5, 5},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if s.Min() != 1 || s.Max() != 5 || s.Mean() != 3 {
+		t.Errorf("min/max/mean = %g/%g/%g", s.Min(), s.Max(), s.Mean())
+	}
+	// Adding after a quantile query must keep working (re-sort).
+	s.Add(0.5)
+	if got := s.Quantile(0); got != 0.5 {
+		t.Errorf("Quantile(0) after Add = %g, want 0.5", got)
+	}
+}
+
+// TestSampleAgreesWithHistogram: on the same data, the exact path and
+// the bucketed path must agree within one bucket width at every
+// quantile — the contract that lets large runs swap Sample for
+// Histogram.
+func TestSampleAgreesWithHistogram(t *testing.T) {
+	const nb = 100
+	h := NewHistogram(0, 1, nb)
+	var s Sample
+	// Deterministic but irregular values in [0, 1).
+	x := 0.5
+	for i := 0; i < 5000; i++ {
+		x = 4 * 0.97 * x * (1 - x) // logistic map, stays in (0,1)
+		h.Add(x)
+		s.Add(x)
+	}
+	// q=1 is excluded: Histogram.Quantile(1) clamps to Hi by contract
+	// regardless of where the data ends, while Sample reports the true
+	// maximum.
+	width := 1.0 / nb
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99} {
+		exact, approx := s.Quantile(q), h.Quantile(q)
+		if diff := exact - approx; diff < -width || diff > width {
+			t.Errorf("q=%g: exact %g vs histogram %g differ by more than bucket width %g",
+				q, exact, approx, width)
+		}
+	}
+}

@@ -52,6 +52,7 @@ package repro
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -219,6 +220,15 @@ type (
 	FolderSource = core.FolderSource
 	// Scheduling selects round-robin or dynamic dispatch.
 	Scheduling = core.Scheduling
+	// Arrivals is an open-loop arrival process (deterministic,
+	// Poisson, bursty, trace replay) for serving-mode runs.
+	Arrivals = core.Arrivals
+	// ArrivalSource makes a wrapped source's items visible only at
+	// their arrival instants.
+	ArrivalSource = core.ArrivalSource
+	// LatencySummary is a per-item serving-latency distribution:
+	// exact tail quantiles plus the queue-wait/service-time split.
+	LatencySummary = core.LatencySummary
 )
 
 // Scheduling policies (the multi-VPU target's internal dispatch).
@@ -254,6 +264,11 @@ const (
 	// weight — explicit weights when configured, otherwise weights
 	// that adapt to observed completion rates.
 	WeightedByThroughput = core.RouteWeighted
+	// RouteLatency deals each item to the group expected to finish it
+	// soonest (EWMA service time × queued items) — the serving policy
+	// for open-loop traffic, minimizing tail latency instead of
+	// balancing a deal ratio.
+	RouteLatency = core.RouteLatency
 )
 
 // NewPool builds a device group over child targets.
@@ -348,6 +363,13 @@ func WithTarget(t Target) SessionOption { return pipeline.WithTarget(t) }
 // VPU overrides).
 func WithGroup(g DeviceGroup) SessionOption { return pipeline.WithGroup(g) }
 
+// WithArrivals wraps the session source in an open-loop arrival
+// process, turning the run into a serving measurement: items become
+// visible at their arrival instants, the report's latency
+// distributions measure real queueing against offered load, and
+// work conservation holds per arrival rather than per drain.
+func WithArrivals(a Arrivals) SessionOption { return pipeline.WithArrivals(a) }
+
 // WithStream replaces the dataset source with a push-style stream of
 // the given buffer capacity (0 = unbounded); feed it via
 // Session.Stream from a producer process on Session.Env.
@@ -425,6 +447,40 @@ func NewStreamSource(env *Env, capacity int) *StreamSource {
 	return core.NewStreamSource(env, capacity)
 }
 
+// Open-loop arrival processes for serving-mode runs (WithArrivals or
+// NewArrivalSource).
+
+// DeterministicArrivals is a constant-rate arrival process.
+func DeterministicArrivals(ratePerSec float64) Arrivals {
+	return core.DeterministicArrivals(ratePerSec)
+}
+
+// PoissonArrivals is a memoryless arrival process at the given mean
+// rate — the standard model for aggregate traffic from many
+// independent users.
+func PoissonArrivals(ratePerSec float64) Arrivals { return core.PoissonArrivals(ratePerSec) }
+
+// BurstyArrivals alternates deterministic arrivals at ratePerSec for
+// on with silence for off.
+func BurstyArrivals(ratePerSec float64, on, off time.Duration) Arrivals {
+	return core.BurstyArrivals(ratePerSec, on, off)
+}
+
+// TraceArrivals replays explicit absolute arrival instants.
+func TraceArrivals(instants []time.Duration) Arrivals { return core.TraceArrivals(instants) }
+
+// DelayedArrivals shifts every instant of arr by delay — e.g. to
+// start offered load only after a device group's one-time setup.
+func DelayedArrivals(arr Arrivals, delay time.Duration) Arrivals {
+	return core.DelayedArrivals(arr, delay)
+}
+
+// NewArrivalSource wraps a source with an arrival process for
+// hand-wired serving experiments; sessions use WithArrivals instead.
+func NewArrivalSource(env *Env, inner Source, arr Arrivals, seed *Rand) (*ArrivalSource, error) {
+	return core.NewArrivalSource(env, inner, arr, seed)
+}
+
 // NewFolderSource loads .ppm images (with optional .xml annotations)
 // from a directory.
 func NewFolderSource(dir string, size int, means []float32, labelOf func(wnid string) (int, bool)) (*FolderSource, error) {
@@ -461,6 +517,9 @@ type (
 	// Benchmarks is the experiment harness regenerating the paper's
 	// figures.
 	Benchmarks = bench.Harness
+	// ServingPoint is one (configuration, offered load) measurement of
+	// the serving experiment (Benchmarks.ServingPoints).
+	ServingPoint = bench.ServingPoint
 )
 
 // DefaultBenchConfig returns the paper-scale experiment configuration.

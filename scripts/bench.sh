@@ -1,11 +1,15 @@
 #!/usr/bin/env sh
 # Regenerate the paper's evaluation benchmarks at CI scale into
-# .bench/ (one benchmark per figure; see bench_test.go). Override the
-# measuring window with NCSW_BENCH_TIME, the output file with
-# NCSW_BENCH_OUT.
+# .bench/ (one benchmark per figure; see bench_test.go), then emit the
+# machine-readable perf snapshot BENCH_PR2.json (per device group:
+# achieved img/s and tail latency per offered load) from the serving
+# experiment. Override the measuring window with NCSW_BENCH_TIME, the
+# text output with NCSW_BENCH_OUT, the JSON output with
+# NCSW_BENCH_JSON.
 set -eu
 
 OUT_FILE=${NCSW_BENCH_OUT:-.bench/figures.txt}
+JSON_FILE=${NCSW_BENCH_JSON:-BENCH_PR2.json}
 BENCH_TIME=${NCSW_BENCH_TIME:-200ms}
 
 mkdir -p "$(dirname "$OUT_FILE")"
@@ -14,3 +18,6 @@ go test . \
 	-run '^$' \
 	-bench . \
 	-benchtime "$BENCH_TIME" | tee "$OUT_FILE"
+
+echo "== serving points -> $JSON_FILE =="
+go run ./cmd/ncsw-bench -serve -json > "$JSON_FILE"

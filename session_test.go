@@ -26,7 +26,8 @@ func (t *echoTarget) Start(env *Env, src Source, sink func(Result)) *Job {
 			start := p.Now()
 			p.Sleep(t.latency)
 			sink(Result{Index: item.Index, Label: item.Label, Pred: -1,
-				Start: start, End: p.Now(), Device: "echo"})
+				Start: start, End: p.Now(),
+				ArrivedAt: item.ArrivedAt, DispatchedAt: start, Device: "echo"})
 			job.Images++
 		}
 		job.Finish(p) // the completion signal composite targets join on
