@@ -12,6 +12,8 @@
 //	ncsw-bench -hetero                 # device-group session demo
 //	ncsw-bench -serve                  # tail latency vs offered load
 //	ncsw-bench -serve -json            # machine-readable serving points
+//	ncsw-bench -slo                    # adaptive batching + admission vs baseline
+//	ncsw-bench -slo -json              # machine-readable slo points (BENCH_PR3.json)
 package main
 
 import (
@@ -41,8 +43,10 @@ func main() {
 		"run the heterogeneous device-group session (CPU + GPU + 4 VPUs) instead of the figures")
 	serve := flag.Bool("serve", false,
 		"run the serving experiment (tail latency vs offered load per device group)")
+	slo := flag.Bool("slo", false,
+		"run the slo experiment (adaptive batching + admission control vs the fixed/open baseline)")
 	jsonOut := flag.Bool("json", false,
-		"with -serve: emit the serving points as JSON (the BENCH_PR*.json format)")
+		"with -serve or -slo: emit the experiment's points as JSON (the BENCH_PR*.json format)")
 	flag.Parse()
 
 	if *hetero {
@@ -75,13 +79,16 @@ func main() {
 
 	ids := repro.ExperimentIDs()
 	if *experiment != "all" {
-		if *serve {
-			log.Fatal("-serve and -experiment are mutually exclusive (use -experiment serving to mix)")
+		if *serve || *slo {
+			log.Fatal("-serve/-slo and -experiment are mutually exclusive (use -experiment serving,slo to mix)")
 		}
 		ids = strings.Split(*experiment, ",")
 	}
-	if *jsonOut && !*serve {
-		log.Fatal("-json requires -serve (only the serving points have a JSON form)")
+	if *serve && *slo {
+		log.Fatal("-serve and -slo are mutually exclusive")
+	}
+	if *jsonOut && !*serve && !*slo {
+		log.Fatal("-json requires -serve or -slo (only their points have a JSON form)")
 	}
 	if *serve {
 		if *jsonOut {
@@ -89,6 +96,13 @@ func main() {
 			return
 		}
 		ids = []string{"serving"}
+	}
+	if *slo {
+		if *jsonOut {
+			emitSLOJSON(h)
+			return
+		}
+		ids = []string{"slo"}
 	}
 	for _, id := range ids {
 		start := time.Now()
@@ -107,8 +121,9 @@ func main() {
 
 // emitServingJSON runs the serving experiment and emits the
 // machine-readable points (per device group: achieved img/s and tail
-// latency per offered load) that scripts/bench.sh stores as
-// BENCH_PR2.json. The human-readable table goes through the regular
+// latency per offered load) in the BENCH_PR*.json format (PR 2's
+// snapshot used this experiment; scripts/bench.sh now snapshots the
+// slo experiment). The human-readable table goes through the regular
 // experiment dispatch ("serving").
 func emitServingJSON(h *repro.Benchmarks) {
 	points, err := h.ServingPoints()
@@ -121,6 +136,25 @@ func emitServingJSON(h *repro.Benchmarks) {
 		Experiment string               `json:"experiment"`
 		Points     []repro.ServingPoint `json:"points"`
 	}{Experiment: "serving", Points: points}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// emitSLOJSON runs the slo experiment and emits the machine-readable
+// points (per device group and serving-edge variant: goodput, shed
+// rate and tail latency per offered load) that scripts/bench.sh
+// stores as the current PR's BENCH_PR*.json snapshot.
+func emitSLOJSON(h *repro.Benchmarks) {
+	points, err := h.SLOPoints()
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Experiment string           `json:"experiment"`
+		Points     []repro.SLOPoint `json:"points"`
+	}{Experiment: "slo", Points: points}); err != nil {
 		log.Fatal(err)
 	}
 }

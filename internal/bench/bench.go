@@ -192,6 +192,7 @@ func (h *Harness) All() ([]*Table, error) {
 		{"precision", func() (*Table, error) { return h.PrecisionAblation(precisionImages(h.cfg)) }},
 		{"gemm", h.GEMMStudy},
 		{"serving", h.Serving},
+		{"slo", h.SLO},
 	}
 	var out []*Table
 	for _, g := range gens {
@@ -229,6 +230,8 @@ func (h *Harness) Experiment(id string) (*Table, error) {
 		return h.GEMMStudy()
 	case "serving":
 		return h.Serving()
+	case "slo":
+		return h.SLO()
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", id, ExperimentIDs())
 	}
@@ -250,5 +253,5 @@ func precisionImages(cfg Config) int {
 // ExperimentIDs lists the available artefacts: the paper's figures in
 // order, the headline summary, and the beyond-the-paper studies.
 func ExperimentIDs() []string {
-	return []string{"fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "summary", "ablation", "precision", "gemm", "serving"}
+	return []string{"fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "summary", "ablation", "precision", "gemm", "serving", "slo"}
 }

@@ -37,6 +37,17 @@ func cell(t *testing.T, s string) float64 {
 	return v
 }
 
+// skipHeavy skips a full experiment re-run under -short: the race CI
+// job runs the suite with -short (race-instrumented experiment runs
+// take minutes each and exercise no concurrency the core and pipeline
+// suites do not), while the regular test job still runs everything.
+func skipHeavy(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment run skipped in -short mode")
+	}
+}
+
 // findRow locates a row by its first column.
 func findRow(t *testing.T, tbl *Table, key string) []string {
 	t.Helper()
@@ -91,7 +102,7 @@ func TestExperimentDispatch(t *testing.T) {
 		t.Error("unknown experiment accepted")
 	}
 	ids := ExperimentIDs()
-	if len(ids) != 11 {
+	if len(ids) != 12 {
 		t.Errorf("ExperimentIDs = %v", ids)
 	}
 }
@@ -101,6 +112,7 @@ func TestExperimentDispatch(t *testing.T) {
 // probes, service time roughly flat across loads, and overload (110%)
 // p99 clearly above the 50%-load p99 on every configuration.
 func TestServingShape(t *testing.T) {
+	skipHeavy(t)
 	pts, err := harness(t).ServingPoints()
 	if err != nil {
 		t.Fatal(err)
@@ -139,6 +151,7 @@ func TestServingShape(t *testing.T) {
 // TestFig6aShape asserts the figure's qualitative content at quick
 // scale: VPU ≈ GPU > CPU, all within a loose band of the paper.
 func TestFig6aShape(t *testing.T) {
+	skipHeavy(t)
 	tbl, err := harness(t).Fig6a()
 	if err != nil {
 		t.Fatal(err)
@@ -170,6 +183,7 @@ func TestFig6aShape(t *testing.T) {
 // TestFig6bShape asserts the scaling curves: near-ideal for VPUs, weak
 // for CPU, intermediate for GPU.
 func TestFig6bShape(t *testing.T) {
+	skipHeavy(t)
 	tbl, err := harness(t).Fig6b()
 	if err != nil {
 		t.Fatal(err)
@@ -202,6 +216,7 @@ func TestFig6bShape(t *testing.T) {
 // precisions with a sub-1% gap, and a small nonzero confidence
 // difference.
 func TestFig7Shape(t *testing.T) {
+	skipHeavy(t)
 	h := harness(t)
 	a, err := h.Fig7a()
 	if err != nil {
@@ -234,6 +249,7 @@ func TestFig7Shape(t *testing.T) {
 // TestFig8aShape asserts the power story: VPU img/W several times the
 // CPU/GPU values at every batch size.
 func TestFig8aShape(t *testing.T) {
+	skipHeavy(t)
 	tbl, err := harness(t).Fig8a()
 	if err != nil {
 		t.Fatal(err)
@@ -258,6 +274,7 @@ func TestFig8aShape(t *testing.T) {
 // 16 by roughly the paper's factors, and the simulated 16-stick run
 // confirms the linear projection.
 func TestFig8bShape(t *testing.T) {
+	skipHeavy(t)
 	tbl, err := harness(t).Fig8b()
 	if err != nil {
 		t.Fatal(err)
@@ -285,6 +302,7 @@ func TestFig8bShape(t *testing.T) {
 }
 
 func TestSummaryShape(t *testing.T) {
+	skipHeavy(t)
 	tbl, err := harness(t).Summary()
 	if err != nil {
 		t.Fatal(err)
@@ -300,6 +318,7 @@ func TestSummaryShape(t *testing.T) {
 }
 
 func TestAblationShape(t *testing.T) {
+	skipHeavy(t)
 	tbl, err := harness(t).Ablation()
 	if err != nil {
 		t.Fatal(err)
@@ -332,6 +351,7 @@ func TestAblationShape(t *testing.T) {
 }
 
 func TestPrecisionAblationShape(t *testing.T) {
+	skipHeavy(t)
 	tbl, err := harness(t).PrecisionAblation(150)
 	if err != nil {
 		t.Fatal(err)
@@ -379,6 +399,7 @@ func TestMeasureErrorAtCalibratedSigma(t *testing.T) {
 }
 
 func TestGEMMStudyShape(t *testing.T) {
+	skipHeavy(t)
 	tbl, err := harness(t).GEMMStudy()
 	if err != nil {
 		t.Fatal(err)
@@ -412,6 +433,7 @@ func TestGEMMStudyShape(t *testing.T) {
 }
 
 func TestAblationThermalRow(t *testing.T) {
+	skipHeavy(t)
 	tbl, err := harness(t).Ablation()
 	if err != nil {
 		t.Fatal(err)

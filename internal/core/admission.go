@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TimedSource is a Source that additionally supports bounded-wait
+// pulls — the primitive behind adaptive batch assembly (a partial
+// batch closes when no further item arrives within the max-wait).
+// ok reports an item was delivered; open=false reports the source is
+// exhausted (ok is then false too). ok=false with open=true is a
+// timeout: nothing arrived within d, but more may come.
+type TimedSource interface {
+	Source
+	NextWithin(p *sim.Proc, d time.Duration) (item Item, ok bool, open bool)
+}
+
+// DepthSource is a Source that can report how many items are
+// immediately available without blocking — the backlog observation
+// adaptive batch sizing keys off.
+type DepthSource interface {
+	Source
+	Pending() int
+}
+
+// OverloadPolicy selects what a full admission queue does with a new
+// arrival.
+type OverloadPolicy int
+
+const (
+	// ShedNewest (the zero value, and so the default) rejects the
+	// arriving item: queued work keeps its place, fresh work is turned
+	// away — the classic bounded-queue server.
+	ShedNewest OverloadPolicy = iota
+	// ShedOldest drops the head of the queue to admit the new arrival:
+	// the stalest item — the one most likely to miss its deadline
+	// anyway — pays, keeping queued work fresh under sustained
+	// overload.
+	ShedOldest
+	// Block applies backpressure instead of shedding: admission waits
+	// for queue space in virtual time. Nothing is dropped, so latency
+	// grows without bound past saturation — the control configuration
+	// the shedding policies are measured against.
+	Block
+)
+
+// String names the policy.
+func (o OverloadPolicy) String() string {
+	switch o {
+	case ShedNewest:
+		return "shed-newest"
+	case ShedOldest:
+		return "shed-oldest"
+	case Block:
+		return "block"
+	}
+	return fmt.Sprintf("policy(%d)", int(o))
+}
+
+// DropReason says why the admission queue dropped an item.
+type DropReason int
+
+const (
+	// DropShed marks an item rejected by the overload policy (the
+	// arrival itself under ShedNewest, the queue head under ShedOldest).
+	DropShed DropReason = iota
+	// DropExpired marks an item whose deadline passed while it sat in
+	// the queue; it is discarded at dispatch instead of being handed to
+	// a device that could only complete it late.
+	DropExpired
+)
+
+// String names the reason.
+func (d DropReason) String() string {
+	if d == DropExpired {
+		return "expired"
+	}
+	return "shed"
+}
+
+// AdmissionOptions configures an AdmissionQueue.
+type AdmissionOptions struct {
+	// Depth bounds the ingress queue (>= 1).
+	Depth int
+	// Policy selects the overload behavior (default ShedNewest).
+	Policy OverloadPolicy
+	// Deadline is the per-item deadline measured from Item.ArrivedAt;
+	// an item still queued when it lapses is dropped at dispatch time.
+	// 0 disables expiry. Serving setups usually set it to the SLO
+	// target: work that can no longer meet the SLO is not worth a
+	// device's time.
+	Deadline time.Duration
+	// OnDrop observes every dropped item (shed or expired) with the
+	// virtual instant of the drop — the hook goodput accounting hangs
+	// off (Collector.NoteDrop).
+	OnDrop func(item Item, reason DropReason, at time.Duration)
+}
+
+// AdmissionStats counts what happened at the ingress edge.
+type AdmissionStats struct {
+	// Arrived is every item the wrapped source offered.
+	Arrived int
+	// Admitted is how many entered the queue (including any later
+	// expired while queued).
+	Admitted int
+	// Shed is how many the overload policy dropped.
+	Shed int
+	// Expired is how many were admitted but dropped at dispatch after
+	// their deadline lapsed in the queue.
+	Expired int
+	// Dispatched is how many were handed to a consumer.
+	Dispatched int
+}
+
+// AdmissionQueue is the bounded ingress edge of a serving setup: a
+// pump process drains the wrapped source (typically an ArrivalSource)
+// the moment items become visible and admits them into a bounded
+// queue under an overload policy, so queueing delay — and therefore
+// tail latency — is capped by design instead of growing without bound
+// past the saturation knee. Consumers read it as an ordinary Source;
+// it also implements TimedSource and DepthSource, so adaptive batch
+// targets assemble directly against the admission backlog.
+//
+// Expiry is lazy: an item whose deadline lapsed while queued is
+// dropped when a consumer would otherwise receive it. That keeps the
+// drop deterministic (no timer per item) and models the real serving
+// pattern of checking the deadline at dispatch.
+type AdmissionQueue struct {
+	q      *sim.Queue[Item]
+	opts   AdmissionOptions
+	stats  AdmissionStats
+	closed bool // end-of-stream sentinel posted
+}
+
+// NewAdmissionQueue wraps inner with admission control inside env.
+// The pump process starts immediately; admission unfolds as env runs.
+func NewAdmissionQueue(env *sim.Env, inner Source, opts AdmissionOptions) (*AdmissionQueue, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("core: admission queue needs a wrapped source")
+	}
+	if opts.Depth < 1 {
+		return nil, fmt.Errorf("core: admission queue depth %d (need >= 1)", opts.Depth)
+	}
+	if opts.Policy < ShedNewest || opts.Policy > Block {
+		return nil, fmt.Errorf("core: unknown overload policy %v", opts.Policy)
+	}
+	if opts.Deadline < 0 {
+		return nil, fmt.Errorf("core: negative admission deadline %v", opts.Deadline)
+	}
+	a := &AdmissionQueue{
+		q:    sim.NewQueue[Item](env, "core/admission", opts.Depth),
+		opts: opts,
+	}
+	env.Process("admission", func(p *sim.Proc) {
+		for {
+			item, ok := inner.Next(p)
+			if !ok {
+				break
+			}
+			if item.Index == -1 {
+				panic("core: admission item with reserved Index -1 (the end-of-stream sentinel)")
+			}
+			a.admit(p, item)
+		}
+		a.q.Put(p, Item{Index: -1}) // may wait for room; consumers drain
+		a.closed = true
+	})
+	return a, nil
+}
+
+// admit applies the overload policy to one arrival. The pump is the
+// queue's only producer, so the TryGet-then-Put sequence of ShedOldest
+// cannot race: both run in one uninterrupted process step.
+func (a *AdmissionQueue) admit(p *sim.Proc, item Item) {
+	a.stats.Arrived++
+	switch a.opts.Policy {
+	case Block:
+		a.q.Put(p, item) // backpressure: blocks while the queue is full
+	case ShedOldest:
+		if !a.q.TryPut(item) {
+			if old, ok := a.q.TryGet(); ok {
+				a.drop(old, DropShed, p.Now())
+			}
+			a.q.Put(p, item)
+		}
+	default: // ShedNewest
+		if !a.q.TryPut(item) {
+			a.drop(item, DropShed, p.Now())
+			return
+		}
+	}
+	a.stats.Admitted++
+}
+
+// Next implements Source: the oldest admitted, unexpired item.
+// Expired items encountered on the way are dropped and counted.
+func (a *AdmissionQueue) Next(p *sim.Proc) (Item, bool) {
+	for {
+		item := a.q.Get(p)
+		if item.Index == -1 {
+			a.q.TryPut(Item{Index: -1})
+			return Item{}, false
+		}
+		if a.expired(item, p.Now()) {
+			a.drop(item, DropExpired, p.Now())
+			continue
+		}
+		a.stats.Dispatched++
+		return item, true
+	}
+}
+
+// NextWithin implements TimedSource: like Next but gives up after d.
+func (a *AdmissionQueue) NextWithin(p *sim.Proc, d time.Duration) (Item, bool, bool) {
+	deadline := p.Now() + d
+	for {
+		wait := deadline - p.Now()
+		if wait < 0 {
+			wait = 0
+		}
+		item, ok := a.q.GetWithin(p, wait)
+		if !ok {
+			return Item{}, false, true
+		}
+		if item.Index == -1 {
+			a.q.TryPut(Item{Index: -1})
+			return Item{}, false, false
+		}
+		if a.expired(item, p.Now()) {
+			a.drop(item, DropExpired, p.Now())
+			continue
+		}
+		a.stats.Dispatched++
+		return item, true, true
+	}
+}
+
+// Pending implements DepthSource: admitted items waiting for dispatch.
+func (a *AdmissionQueue) Pending() int {
+	n := a.q.Len()
+	if a.closed && n > 0 {
+		n-- // the end-of-stream sentinel is not work
+	}
+	return n
+}
+
+// Stats returns the admission counters; read after the run completes
+// for final numbers.
+func (a *AdmissionQueue) Stats() AdmissionStats { return a.stats }
+
+// expired reports whether item's deadline lapsed by now.
+func (a *AdmissionQueue) expired(item Item, now time.Duration) bool {
+	return a.opts.Deadline > 0 && now > item.ArrivedAt+a.opts.Deadline
+}
+
+// drop counts and reports one dropped item.
+func (a *AdmissionQueue) drop(item Item, reason DropReason, at time.Duration) {
+	if reason == DropExpired {
+		a.stats.Expired++
+	} else {
+		a.stats.Shed++
+	}
+	if a.opts.OnDrop != nil {
+		a.opts.OnDrop(item, reason, at)
+	}
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// admissionRig wires arrivals → admission for the policy tests:
+// n items arriving at the given trace instants, admitted under opts.
+func admissionRig(t *testing.T, env *sim.Env, instants []time.Duration, opts AdmissionOptions) *AdmissionQueue {
+	t.Helper()
+	src := sliceOf(len(instants))
+	asrc, err := NewArrivalSource(env, src, TraceArrivals(instants), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adm, err := NewAdmissionQueue(env, asrc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return adm
+}
+
+// drainAt reads the admission queue from the given start instant,
+// waiting gap between reads, and returns (index, dispatch instant)
+// pairs.
+type dispatchRecord struct {
+	index int
+	at    time.Duration
+}
+
+func drainAt(env *sim.Env, adm *AdmissionQueue, start, gap time.Duration) *[]dispatchRecord {
+	var recs []dispatchRecord
+	env.Process("consumer", func(p *sim.Proc) {
+		p.Sleep(start)
+		for {
+			item, ok := adm.Next(p)
+			if !ok {
+				return
+			}
+			recs = append(recs, dispatchRecord{index: item.Index, at: p.Now()})
+			p.Sleep(gap)
+		}
+	})
+	return &recs
+}
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+// TestAdmissionShedNewestFullAtArrival: with the queue full at
+// arrival, ShedNewest turns the new items away and queued work keeps
+// its place.
+func TestAdmissionShedNewestFullAtArrival(t *testing.T) {
+	env := sim.NewEnv()
+	var drops []dispatchRecord
+	adm := admissionRig(t, env, []time.Duration{ms(1), ms(2), ms(3), ms(4)}, AdmissionOptions{
+		Depth: 2,
+		OnDrop: func(item Item, reason DropReason, at time.Duration) {
+			if reason != DropShed {
+				t.Errorf("item %d dropped as %v, want shed", item.Index, reason)
+			}
+			drops = append(drops, dispatchRecord{index: item.Index, at: at})
+		},
+	})
+	recs := drainAt(env, adm, ms(10), ms(10))
+	env.Run()
+
+	if got := *recs; len(got) != 2 || got[0].index != 0 || got[1].index != 1 {
+		t.Errorf("dispatched %v, want items 0 then 1", got)
+	}
+	if len(drops) != 2 || drops[0].index != 2 || drops[1].index != 3 {
+		t.Errorf("shed %v, want items 2 (at 3ms) and 3 (at 4ms)", drops)
+	}
+	if len(drops) == 2 && (drops[0].at != ms(3) || drops[1].at != ms(4)) {
+		t.Errorf("shed instants %v, want arrival instants 3ms/4ms", drops)
+	}
+	want := AdmissionStats{Arrived: 4, Admitted: 2, Shed: 2, Dispatched: 2}
+	if s := adm.Stats(); s != want {
+		t.Errorf("stats %+v, want %+v", s, want)
+	}
+}
+
+// TestAdmissionShedOldestFullAtArrival: ShedOldest admits every new
+// arrival by evicting the head, so the freshest work survives.
+func TestAdmissionShedOldestFullAtArrival(t *testing.T) {
+	env := sim.NewEnv()
+	var dropped []int
+	adm := admissionRig(t, env, []time.Duration{ms(1), ms(2), ms(3), ms(4)}, AdmissionOptions{
+		Depth:  2,
+		Policy: ShedOldest,
+		OnDrop: func(item Item, reason DropReason, at time.Duration) {
+			dropped = append(dropped, item.Index)
+		},
+	})
+	recs := drainAt(env, adm, ms(10), ms(10))
+	env.Run()
+
+	if got := *recs; len(got) != 2 || got[0].index != 2 || got[1].index != 3 {
+		t.Errorf("dispatched %v, want the freshest items 2 then 3", got)
+	}
+	if len(dropped) != 2 || dropped[0] != 0 || dropped[1] != 1 {
+		t.Errorf("shed %v, want the stale heads 0 then 1", dropped)
+	}
+	want := AdmissionStats{Arrived: 4, Admitted: 4, Shed: 2, Dispatched: 2}
+	if s := adm.Stats(); s != want {
+		t.Errorf("stats %+v, want %+v", s, want)
+	}
+}
+
+// TestAdmissionBlockBackpressure: Block never sheds — admission waits
+// in virtual time for the consumer, and every item is dispatched at
+// the consumer's pace.
+func TestAdmissionBlockBackpressure(t *testing.T) {
+	env := sim.NewEnv()
+	adm := admissionRig(t, env, []time.Duration{ms(1), ms(2), ms(3)}, AdmissionOptions{
+		Depth:  1,
+		Policy: Block,
+		OnDrop: func(item Item, reason DropReason, at time.Duration) {
+			t.Errorf("Block shed item %d (%v)", item.Index, reason)
+		},
+	})
+	recs := drainAt(env, adm, ms(5), ms(10))
+	env.Run()
+
+	want := []dispatchRecord{{0, ms(5)}, {1, ms(15)}, {2, ms(25)}}
+	got := *recs
+	if len(got) != len(want) {
+		t.Fatalf("dispatched %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("dispatch %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	s := adm.Stats()
+	if s.Shed != 0 || s.Expired != 0 || s.Admitted != 3 || s.Dispatched != 3 {
+		t.Errorf("stats %+v, want everything admitted and dispatched", s)
+	}
+}
+
+// TestAdmissionDeadlineExpiryWhileQueued: an item whose deadline
+// lapses in the queue is dropped at dispatch time, not handed to a
+// device that could only finish it late.
+func TestAdmissionDeadlineExpiryWhileQueued(t *testing.T) {
+	env := sim.NewEnv()
+	var expired []dispatchRecord
+	adm := admissionRig(t, env, []time.Duration{ms(1), ms(15)}, AdmissionOptions{
+		Depth:    4,
+		Deadline: ms(10),
+		OnDrop: func(item Item, reason DropReason, at time.Duration) {
+			if reason != DropExpired {
+				t.Errorf("item %d dropped as %v, want expired", item.Index, reason)
+			}
+			expired = append(expired, dispatchRecord{index: item.Index, at: at})
+		},
+	})
+	recs := drainAt(env, adm, ms(20), ms(1))
+	env.Run()
+
+	// Item 0 arrived at 1ms, deadline 11ms < 20ms: expired at dispatch.
+	// Item 1 arrived at 15ms, deadline 25ms >= 20ms: dispatched.
+	if got := *recs; len(got) != 1 || got[0].index != 1 || got[0].at != ms(20) {
+		t.Errorf("dispatched %v, want only item 1 at 20ms", got)
+	}
+	if len(expired) != 1 || expired[0].index != 0 || expired[0].at != ms(20) {
+		t.Errorf("expired %v, want item 0 at the 20ms dispatch attempt", expired)
+	}
+	want := AdmissionStats{Arrived: 2, Admitted: 2, Expired: 1, Dispatched: 1}
+	if s := adm.Stats(); s != want {
+		t.Errorf("stats %+v, want %+v", s, want)
+	}
+}
+
+// TestAdmissionDeadlineBoundaryHolds: an item dispatched exactly at
+// its deadline instant is still admitted — expiry is strict.
+func TestAdmissionDeadlineBoundaryHolds(t *testing.T) {
+	env := sim.NewEnv()
+	adm := admissionRig(t, env, []time.Duration{ms(1)}, AdmissionOptions{
+		Depth:    1,
+		Deadline: ms(9),
+		OnDrop: func(item Item, reason DropReason, at time.Duration) {
+			t.Errorf("item %d dropped (%v) at its exact deadline", item.Index, reason)
+		},
+	})
+	recs := drainAt(env, adm, ms(10), ms(1)) // dispatch at arrival+deadline exactly
+	env.Run()
+	if got := *recs; len(got) != 1 || got[0].index != 0 {
+		t.Errorf("dispatched %v, want item 0 at its deadline instant", got)
+	}
+}
+
+// TestAdmissionValidation: constructor rejects broken configurations.
+func TestAdmissionValidation(t *testing.T) {
+	env := sim.NewEnv()
+	src := sliceOf(1)
+	cases := []AdmissionOptions{
+		{Depth: 0},                              // no capacity
+		{Depth: 2, Deadline: -time.Millisecond}, // negative deadline
+		{Depth: 2, Policy: OverloadPolicy(99)},  // unknown policy
+	}
+	for _, opts := range cases {
+		if _, err := NewAdmissionQueue(env, src, opts); err == nil {
+			t.Errorf("NewAdmissionQueue(%+v) accepted", opts)
+		}
+	}
+	if _, err := NewAdmissionQueue(env, nil, AdmissionOptions{Depth: 1}); err == nil {
+		t.Error("NewAdmissionQueue(nil source) accepted")
+	}
+}
+
+// TestCollectorGoodputHandComputed: goodput and shed rate against a
+// hand-built result stream — 2 of 6 arrivals complete within the
+// 100ms SLO (2 more complete late, 1 shed, 1 expired).
+func TestCollectorGoodputHandComputed(t *testing.T) {
+	c := NewCollector(false)
+	c.SetSLO(ms(100))
+	sink := c.Sink()
+	lat := func(arrived, end time.Duration) Result {
+		return Result{Index: 0, Label: -1, Pred: -1, ArrivedAt: arrived, Start: arrived, End: end}
+	}
+	sink(lat(0, ms(40)))        // within
+	sink(lat(ms(10), ms(110)))  // exactly at the SLO: within
+	sink(lat(ms(20), ms(200)))  // late
+	sink(lat(ms(30), ms(1000))) // late
+	c.NoteDrop(DropShed)
+	c.NoteDrop(DropExpired)
+
+	if c.Arrivals() != 6 {
+		t.Errorf("arrivals %d, want 6", c.Arrivals())
+	}
+	if c.WithinSLO != 2 {
+		t.Errorf("within SLO %d, want 2", c.WithinSLO)
+	}
+	if got, want := c.Goodput(), 2.0/6.0; !close2(got, want) {
+		t.Errorf("goodput %g, want %g", got, want)
+	}
+	if got, want := c.ShedRate(), 2.0/6.0; !close2(got, want) {
+		t.Errorf("shed rate %g, want %g", got, want)
+	}
+	if c.Shed != 1 || c.Expired != 1 {
+		t.Errorf("shed/expired %d/%d, want 1/1", c.Shed, c.Expired)
+	}
+}
+
+// TestCollectorGoodputWithoutSLO: with no SLO the metric degrades to
+// the completion fraction, so unbounded baselines read 1.0.
+func TestCollectorGoodputWithoutSLO(t *testing.T) {
+	c := NewCollector(false)
+	sink := c.Sink()
+	sink(Result{Label: -1, Pred: -1, End: ms(5)})
+	sink(Result{Label: -1, Pred: -1, End: ms(9)})
+	if got := c.Goodput(); got != 1.0 {
+		t.Errorf("goodput %g without SLO or drops, want 1", got)
+	}
+	c.NoteDrop(DropShed)
+	if got, want := c.Goodput(), 2.0/3.0; !close2(got, want) {
+		t.Errorf("goodput %g after a shed, want %g", got, want)
+	}
+	if !close2(c.Goodput(), 1-c.ShedRate()) {
+		t.Errorf("goodput %g and shed rate %g do not complement", c.Goodput(), c.ShedRate())
+	}
+}
+
+func close2(a, b float64) bool {
+	d := a - b
+	return d < 1e-12 && d > -1e-12
+}

@@ -204,6 +204,10 @@ func mustPositiveRate(rate float64) {
 type ArrivalSource struct {
 	q     *sim.Queue[Item]
 	inner Source
+	// arrived/consumed track the visible backlog for Pending without
+	// counting the end-of-stream sentinel.
+	arrived  int
+	consumed int
 }
 
 // NewArrivalSource wraps inner with the arrival process, driving it
@@ -244,6 +248,7 @@ func NewArrivalSource(env *sim.Env, inner Source, arr Arrivals, seed *rng.Source
 				p.Sleep(at - p.Now())
 			}
 			item.ArrivedAt = p.Now()
+			s.arrived++
 			s.q.Put(p, item)
 		}
 		s.q.Put(p, Item{Index: -1}) // end-of-stream sentinel
@@ -272,5 +277,24 @@ func (s *ArrivalSource) Next(p *sim.Proc) (Item, bool) {
 		s.q.TryPut(Item{Index: -1})
 		return Item{}, false
 	}
+	s.consumed++
 	return item, true
 }
+
+// NextWithin implements TimedSource: like Next but gives up once d of
+// virtual time passes with no arrival.
+func (s *ArrivalSource) NextWithin(p *sim.Proc, d time.Duration) (Item, bool, bool) {
+	item, ok := s.q.GetWithin(p, d)
+	if !ok {
+		return Item{}, false, true
+	}
+	if item.Index == -1 {
+		s.q.TryPut(Item{Index: -1})
+		return Item{}, false, false
+	}
+	s.consumed++
+	return item, true, true
+}
+
+// Pending implements DepthSource: items arrived but not yet consumed.
+func (s *ArrivalSource) Pending() int { return s.arrived - s.consumed }

@@ -17,11 +17,35 @@ type batchEngine interface {
 	TDPWatts() float64
 }
 
+// BatchAssembly configures how a BatchTarget assembles batches beyond
+// the classic fill-to-batch-size behavior.
+type BatchAssembly struct {
+	// MaxWait is the total assembly budget of one batch: the deadline
+	// is set when the first item is pulled, and however many items
+	// have arrived when it lapses form the batch — so no item ever
+	// waits more than MaxWait for batch-mates, the bound an SLO needs
+	// (a per-arrival idle timeout could stall up to (size-1)×MaxWait).
+	// A lightly loaded device therefore stops paying full-batch
+	// assembly latency. 0 waits indefinitely (the classic Caffe
+	// behavior). Takes effect only against sources supporting
+	// bounded-wait pulls (TimedSource: ArrivalSource, AdmissionQueue,
+	// pool feeds); other sources never block mid-batch, so there is
+	// nothing to bound.
+	MaxWait time.Duration
+	// Adaptive sizes each batch from the backlog observed when the
+	// batch opens — between 1 and the configured batch size — instead
+	// of always waiting for a full batch. Needs a source that can
+	// report its backlog (DepthSource); otherwise the configured size
+	// is used.
+	Adaptive bool
+}
+
 // BatchTarget runs a Caffe-style batch device: it gathers up to
 // BatchSize items from the source, prices the batch on the device
 // model, and (optionally) computes the outputs with a real FP32
 // forward pass. The paper uses "the traditional Caffe batch-based
-// processing on the CPU and GPU tests" (§IV).
+// processing on the CPU and GPU tests" (§IV). SetAssembly turns the
+// fixed gather into SLO-aware adaptive assembly.
 type BatchTarget struct {
 	name       string
 	engine     batchEngine
@@ -29,6 +53,8 @@ type BatchTarget struct {
 	batchSize  int
 	functional bool
 	timeline   *trace.Timeline
+	assembly   BatchAssembly
+	batches    int
 }
 
 // NewCPUTarget builds the Caffe-MKL target.
@@ -77,35 +103,84 @@ func newBatchTarget(name string, engine batchEngine, graph *nn.Graph, batchSize 
 // SetTimeline attaches a trace timeline (Fig. 4-style spans).
 func (t *BatchTarget) SetTimeline(tl *trace.Timeline) { t.timeline = tl }
 
+// SetAssembly configures adaptive batch assembly; call before Start.
+// A negative MaxWait panics (a caller bug, like a negative sleep).
+func (t *BatchTarget) SetAssembly(a BatchAssembly) {
+	if a.MaxWait < 0 {
+		panic(fmt.Sprintf("core: negative batch max-wait %v", a.MaxWait))
+	}
+	t.assembly = a
+}
+
+// Batches returns how many batches the target has run — with adaptive
+// assembly, Images/Batches is the realized mean batch size. Valid
+// after the run completes.
+func (t *BatchTarget) Batches() int { return t.batches }
+
 // Name implements Target.
 func (t *BatchTarget) Name() string { return t.name }
 
 // TDPWatts implements Target.
 func (t *BatchTarget) TDPWatts() float64 { return t.engine.TDPWatts() }
 
-// Start implements Target.
+// Start implements Target. With the default assembly the gather is
+// the classic one — block until the batch is full or the source is
+// exhausted. With MaxWait set (against a TimedSource) a partial batch
+// closes when no further item arrives in time; with Adaptive set
+// (against a DepthSource) each batch targets the backlog observed
+// when its first item is pulled, clamped to [1, BatchSize].
 func (t *BatchTarget) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 	job := &Job{}
+	timed, hasTimed := src.(TimedSource)
+	depth, hasDepth := src.(DepthSource)
+	useWait := t.assembly.MaxWait > 0 && hasTimed
 	env.Process(t.name, func(p *sim.Proc) {
 		job.StartedAt = p.Now()
 		job.ReadyAt = p.Now()
 		batch := make([]Item, 0, t.batchSize)
 		pulls := make([]time.Duration, 0, t.batchSize)
-		for {
+		open := true
+		for open {
 			batch = batch[:0]
 			pulls = pulls[:0]
-			for len(batch) < t.batchSize {
-				item, ok := src.Next(p)
-				if !ok {
-					break
+			// An idle device waits as long as it takes for the first
+			// item; the max-wait clock only runs once a batch is open.
+			item, ok := src.Next(p)
+			if !ok {
+				break
+			}
+			batch = append(batch, item)
+			pulls = append(pulls, p.Now())
+			size := t.batchSize
+			if t.assembly.Adaptive && hasDepth {
+				if want := 1 + depth.Pending(); want < size {
+					size = want
 				}
-				batch = append(batch, item)
+			}
+			deadline := p.Now() + t.assembly.MaxWait
+			for len(batch) < size {
+				var it Item
+				var got bool
+				if useWait {
+					wait := deadline - p.Now()
+					if wait < 0 {
+						wait = 0
+					}
+					it, got, open = timed.NextWithin(p, wait)
+					if !got {
+						break // deadline hit (open) or source drained (!open)
+					}
+				} else {
+					it, got = src.Next(p)
+					if !got {
+						open = false
+						break
+					}
+				}
+				batch = append(batch, it)
 				// The pull instant is when the item joined the
 				// assembling batch — its DispatchedAt.
 				pulls = append(pulls, p.Now())
-			}
-			if len(batch) == 0 {
-				break
 			}
 			start := p.Now()
 			d := t.engine.NextBatchDuration(len(batch))
@@ -113,6 +188,7 @@ func (t *BatchTarget) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 			t.timeline.Add(t.name, trace.Compute, start, p.Now(), fmt.Sprintf("batch=%d", len(batch)))
 			t.emit(batch, pulls, start, p.Now(), sink, job)
 			job.Images += len(batch)
+			t.batches++
 		}
 		job.Finish(p)
 	})

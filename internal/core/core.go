@@ -314,7 +314,10 @@ func (s *StreamSource) Next(p *sim.Proc) (Item, bool) {
 }
 
 // Collector is a convenience sink accumulating accuracy and timing
-// aggregates, optionally retaining every result.
+// aggregates, optionally retaining every result. With an SLO set
+// (SetSLO) it additionally tracks goodput: completions within the
+// SLO, against every arrival it was told about — including items the
+// admission edge shed or expired (NoteDrop).
 type Collector struct {
 	N          int
 	Correct    int
@@ -326,6 +329,15 @@ type Collector struct {
 	lastEnd    time.Duration
 	any        bool
 	lat        latencyAgg
+	// slo is the per-item latency target goodput is measured against.
+	slo time.Duration
+	// WithinSLO counts completions with Latency() <= the SLO target
+	// (0 until SetSLO is called before the run).
+	WithinSLO int
+	// Shed counts arrivals dropped by the admission overload policy,
+	// Expired those dropped after their deadline lapsed in the queue;
+	// both come in through NoteDrop.
+	Shed, Expired int
 }
 
 // NewCollector creates a collector; retain keeps full results.
@@ -353,10 +365,61 @@ func (c *Collector) Sink() func(Result) {
 		}
 		c.any = true
 		c.lat.add(r)
+		if c.slo > 0 && r.Latency() <= c.slo {
+			c.WithinSLO++
+		}
 		if c.retain {
 			c.Results = append(c.Results, r)
 		}
 	}
+}
+
+// SetSLO sets the per-item serving deadline goodput is measured
+// against. Call before the run; results seen earlier are not
+// re-evaluated.
+func (c *Collector) SetSLO(d time.Duration) { c.slo = d }
+
+// SLO returns the configured target (0 = none).
+func (c *Collector) SLO() time.Duration { return c.slo }
+
+// NoteDrop records one admission drop (DropShed or DropExpired) —
+// wire it to AdmissionQueue's OnDrop so dropped arrivals count
+// against goodput.
+func (c *Collector) NoteDrop(reason DropReason) {
+	if reason == DropExpired {
+		c.Expired++
+	} else {
+		c.Shed++
+	}
+}
+
+// Arrivals returns everything the serving system was offered: served
+// results plus admission drops.
+func (c *Collector) Arrivals() int { return c.N + c.Shed + c.Expired }
+
+// Goodput returns the fraction of arrivals that completed within the
+// SLO — the serving metric bounded admission defends past the
+// saturation knee. Without an SLO it degrades to the fraction of
+// arrivals that completed at all (1.0 when nothing was dropped).
+func (c *Collector) Goodput() float64 {
+	arrived := c.Arrivals()
+	if arrived == 0 {
+		return 0
+	}
+	if c.slo <= 0 {
+		return float64(c.N) / float64(arrived)
+	}
+	return float64(c.WithinSLO) / float64(arrived)
+}
+
+// ShedRate returns the fraction of arrivals dropped at the admission
+// edge (shed by the overload policy or expired in the queue).
+func (c *Collector) ShedRate() float64 {
+	arrived := c.Arrivals()
+	if arrived == 0 {
+		return 0
+	}
+	return float64(c.Shed+c.Expired) / float64(arrived)
 }
 
 // Latency summarizes the per-item serving-latency distribution of

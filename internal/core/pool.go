@@ -150,6 +150,10 @@ func (pl *Pool) ChildJobs() []*Job { return pl.jobs }
 // childFeed is the per-child source fed by the pool dispatcher.
 type childFeed struct {
 	q *sim.Queue[Item]
+	// upstream is the pool's source when it can report backlog (an
+	// ArrivalSource or AdmissionQueue), so a child's Pending sees
+	// through the shallow feed queue to the real queued work.
+	upstream DepthSource
 }
 
 // poolSentinel marks end-of-feed on a child queue. Real items use
@@ -167,6 +171,39 @@ func (f *childFeed) Next(p *sim.Proc) (Item, bool) {
 		return Item{}, false
 	}
 	return item, true
+}
+
+// NextWithin implements TimedSource, so adaptive batch children close
+// partial batches against their pool feed.
+func (f *childFeed) NextWithin(p *sim.Proc, d time.Duration) (Item, bool, bool) {
+	item, ok := f.q.GetWithin(p, d)
+	if !ok {
+		return Item{}, false, true
+	}
+	if item.Index == poolSentinel {
+		f.q.TryPut(item)
+		return Item{}, false, false
+	}
+	return item, true, true
+}
+
+// Pending implements DepthSource: the feed's own buffer plus the
+// undealt backlog of the pool's source. The feed queue is shallow
+// (QueueDepth, default 2) and the dispatcher refills it the moment a
+// child pulls, so without the upstream term an adaptive batch child
+// would clamp its batches at QueueDepth+1 forever instead of
+// converging to its configured size under saturation. The upstream
+// backlog is shared by all children, so the estimate is an upper
+// bound on what this child will actually receive — the max-wait
+// deadline bounds the cost of over-sizing. The count may include the
+// shutdown sentinel once dealing ends; by then sizing no longer
+// matters.
+func (f *childFeed) Pending() int {
+	n := f.q.Len()
+	if f.upstream != nil {
+		n += f.upstream.Pending()
+	}
+	return n
 }
 
 // Start implements Target. It starts every child on its share of the
@@ -232,13 +269,14 @@ func (pl *Pool) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 	feeds := make([]*sim.Queue[Item], n)
 	var orphans []Item
 	done := sim.NewQueue[int](env, "pool/join", 0)
+	upstream, _ := src.(DepthSource)
 	for i, c := range pl.children {
 		var csrc Source
 		if pl.opts.Routing == RouteWorkStealing {
 			csrc = src
 		} else {
 			feeds[i] = sim.NewQueue[Item](env, fmt.Sprintf("pool/feed%d", i), pl.opts.QueueDepth)
-			csrc = &childFeed{q: feeds[i]}
+			csrc = &childFeed{q: feeds[i], upstream: upstream}
 		}
 		cj := c.Start(env, csrc, childSink(i))
 		i := i

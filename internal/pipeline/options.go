@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"time"
+
 	"repro/internal/core"
 	"repro/internal/imagenet"
 	"repro/internal/nn"
@@ -97,6 +99,37 @@ func WithGroup(g Group) Option {
 // real queueing under offered load.
 func WithArrivals(a core.Arrivals) Option {
 	return func(c *Config) { c.Arrivals = a }
+}
+
+// WithSLO sets the per-item serving deadline (arrival to completion)
+// the session measures goodput against: the report gains per-group
+// and aggregate goodput, and a bounded ingress (WithAdmission) drops
+// items whose deadline lapses while they queue.
+func WithSLO(target time.Duration) Option {
+	return func(c *Config) { c.SLO = target }
+}
+
+// WithAdmission bounds the session ingress: an admission queue of the
+// given depth sits between the source and the device groups, and
+// arrivals that find it full are handled by the overload policy
+// (core.ShedNewest, core.ShedOldest, core.Block). With an SLO set,
+// items queued past it are dropped as expired instead of wasting
+// device time. Shed and expired counts land on the report. Requires
+// a paced source (WithArrivals or WithStream): against an eager
+// closed-loop dataset the pump would drain everything at t=0 and
+// shed all but the first depth items.
+func WithAdmission(depth int, policy core.OverloadPolicy) Option {
+	return func(c *Config) { c.AdmissionDepth = depth; c.AdmissionPolicy = policy }
+}
+
+// WithAdaptiveBatching makes every CPU/GPU group assemble batches
+// adaptively: batch size tracks the observed backlog (between 1 and
+// the group's configured batch size) and a partial batch closes at
+// most maxWait after its first item was pulled — so a lightly loaded
+// batch device serves at single-item latency while a saturated one
+// keeps full-batch throughput.
+func WithAdaptiveBatching(maxWait time.Duration) Option {
+	return func(c *Config) { c.BatchMaxWait = maxWait; c.AdaptiveBatch = true }
 }
 
 // WithStream replaces the dataset source with a push-style stream of

@@ -27,6 +27,7 @@ package pipeline
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/devsim"
@@ -153,6 +154,27 @@ type Config struct {
 	// from a drain-the-dataset throughput measurement into a serving
 	// measurement with meaningful queueing delay. Seeded from Seed.
 	Arrivals core.Arrivals
+	// SLO is the per-item serving deadline (arrival to completion)
+	// goodput is measured against; 0 disables goodput accounting.
+	SLO time.Duration
+	// AdmissionDepth, when positive, bounds the session ingress with
+	// an admission queue of that depth between the source and the
+	// device groups; arrivals beyond it are handled by
+	// AdmissionPolicy, and items queued past the SLO are dropped as
+	// expired. 0 leaves ingress unbounded (the pre-admission
+	// behavior).
+	AdmissionDepth int
+	// AdmissionPolicy selects the overload behavior of the bounded
+	// ingress (default core.ShedNewest).
+	AdmissionPolicy core.OverloadPolicy
+	// BatchMaxWait bounds batch assembly on every CPU/GPU group: a
+	// partial batch closes when no further item arrives within the
+	// wait. 0 keeps the classic fill-to-batch-size gather.
+	BatchMaxWait time.Duration
+	// AdaptiveBatch sizes every CPU/GPU group's batches from the
+	// observed backlog (between 1 and the group's batch size) instead
+	// of always assembling full batches.
+	AdaptiveBatch bool
 	// Groups are the device groups (at least one).
 	Groups []Group
 }
@@ -168,17 +190,18 @@ type Option func(*Config)
 // compiled graph, devices and targets, built eagerly so they can be
 // inspected or adjusted before Run.
 type Session struct {
-	cfg     Config
-	env     *sim.Env
-	ds      *imagenet.Dataset
-	net     *nn.Graph
-	blob    []byte
-	devices []*ncs.Device // all sticks, in testbed port order
-	targets []core.Target
-	perVPU  [][]*ncs.Device // sticks per group index (nil for non-VPU)
-	stream  *core.StreamSource
-	source  core.Source
-	ran     bool
+	cfg       Config
+	env       *sim.Env
+	ds        *imagenet.Dataset
+	net       *nn.Graph
+	blob      []byte
+	devices   []*ncs.Device // all sticks, in testbed port order
+	targets   []core.Target
+	perVPU    [][]*ncs.Device // sticks per group index (nil for non-VPU)
+	stream    *core.StreamSource
+	source    core.Source
+	admission *core.AdmissionQueue
+	ran       bool
 }
 
 // New builds a session from options.
@@ -293,6 +316,24 @@ func validate(cfg *Config) error {
 	if cfg.StreamCapacity != nil && *cfg.StreamCapacity < 0 {
 		return fmt.Errorf("pipeline: negative stream capacity %d", *cfg.StreamCapacity)
 	}
+	if cfg.SLO < 0 {
+		return fmt.Errorf("pipeline: negative SLO %v", cfg.SLO)
+	}
+	if cfg.AdmissionDepth < 0 {
+		return fmt.Errorf("pipeline: negative admission depth %d", cfg.AdmissionDepth)
+	}
+	if cfg.AdmissionDepth > 0 && cfg.Arrivals == nil && cfg.StreamCapacity == nil {
+		// Against an eager closed-loop source the admission pump would
+		// drain the whole dataset at t=0 and shed everything beyond
+		// the queue depth before any device runs.
+		return fmt.Errorf("pipeline: admission control needs a paced source (WithArrivals or WithStream)")
+	}
+	if cfg.AdmissionPolicy < core.ShedNewest || cfg.AdmissionPolicy > core.Block {
+		return fmt.Errorf("pipeline: unknown admission policy %v", cfg.AdmissionPolicy)
+	}
+	if cfg.BatchMaxWait < 0 {
+		return fmt.Errorf("pipeline: negative batch max-wait %v", cfg.BatchMaxWait)
+	}
 	return nil
 }
 
@@ -380,6 +421,7 @@ func (s *Session) buildTargets() error {
 			if s.cfg.Timeline != nil {
 				t.SetTimeline(s.cfg.Timeline)
 			}
+			s.applyAssembly(t)
 			s.targets[i] = t
 		case GroupGPU:
 			eng, err := devsim.NewGPU(devsim.DefaultGPUConfig(), devsim.WorkloadOf(s.net), rng.New(s.cfg.Seed))
@@ -393,6 +435,7 @@ func (s *Session) buildTargets() error {
 			if s.cfg.Timeline != nil {
 				t.SetTimeline(s.cfg.Timeline)
 			}
+			s.applyAssembly(t)
 			s.targets[i] = t
 		case GroupVPU:
 			sticks := s.devices[nextStick : nextStick+g.Devices]
@@ -416,6 +459,17 @@ func (s *Session) buildTargets() error {
 		}
 	}
 	return nil
+}
+
+// applyAssembly configures a batch target's SLO-aware assembly from
+// the session options.
+func (s *Session) applyAssembly(t *core.BatchTarget) {
+	if s.cfg.BatchMaxWait > 0 || s.cfg.AdaptiveBatch {
+		t.SetAssembly(core.BatchAssembly{
+			MaxWait:  s.cfg.BatchMaxWait,
+			Adaptive: s.cfg.AdaptiveBatch,
+		})
+	}
 }
 
 // Env returns the simulation environment (for custom producer
@@ -472,9 +526,27 @@ func (s *Session) Run() (*Report, error) {
 	}
 
 	merged := core.NewCollector(s.cfg.Retain)
+	merged.SetSLO(s.cfg.SLO)
 	perGroup := make([]*core.Collector, len(s.targets))
 	for i := range perGroup {
 		perGroup[i] = core.NewCollector(false)
+		perGroup[i].SetSLO(s.cfg.SLO)
+	}
+
+	if s.cfg.AdmissionDepth > 0 {
+		aq, err := core.NewAdmissionQueue(s.env, src, core.AdmissionOptions{
+			Depth:    s.cfg.AdmissionDepth,
+			Policy:   s.cfg.AdmissionPolicy,
+			Deadline: s.cfg.SLO, // work past the SLO is not worth a device's time
+			OnDrop: func(_ core.Item, reason core.DropReason, _ time.Duration) {
+				merged.NoteDrop(reason)
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: admission: %w", err)
+		}
+		s.admission = aq
+		src = aq
 	}
 
 	var job *core.Job

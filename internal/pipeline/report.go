@@ -38,6 +38,11 @@ type TargetReport struct {
 	// only internal buffering; under WithArrivals it is real queueing
 	// against offered load.
 	Latency core.LatencySummary
+	// Goodput is the fraction of the group's completions that met the
+	// session SLO (admission drops happen at ingress, before routing,
+	// so they cannot be attributed to a group; the arrival-based
+	// goodput lives on the aggregate Report). 0 when no SLO is set.
+	Goodput float64
 	// Job exposes the raw timing (StartedAt/ReadyAt/DoneAt, Err).
 	Job *core.Job
 	// Collector exposes the raw per-group aggregates.
@@ -64,6 +69,18 @@ type Report struct {
 	// Latency is the merged per-item serving-latency distribution
 	// across all groups.
 	Latency core.LatencySummary
+	// SLO is the session's per-item serving deadline (0 = none).
+	SLO time.Duration
+	// Goodput is the fraction of arrivals that completed within the
+	// SLO — shed and expired arrivals count against it. Without an
+	// SLO it is the fraction of arrivals that completed at all.
+	Goodput float64
+	// ShedRate is the fraction of arrivals dropped at the admission
+	// edge (shed by the overload policy or expired in the queue).
+	ShedRate float64
+	// Admission carries the ingress counters when the session ran
+	// with WithAdmission (zero value otherwise).
+	Admission core.AdmissionStats
 	// Arrivals names the open-loop arrival process driving the run
 	// (nil for closed-loop runs).
 	Arrivals core.Arrivals
@@ -89,12 +106,18 @@ func (s *Session) buildReport(job *core.Job, pool *core.Pool, merged *core.Colle
 		TopOneError:    merged.TopOneError(),
 		MeanConfidence: merged.MeanConfidence(),
 		Latency:        merged.Latency(),
+		SLO:            s.cfg.SLO,
+		Goodput:        merged.Goodput(),
+		ShedRate:       merged.ShedRate(),
 		Arrivals:       s.cfg.Arrivals,
 		SimTime:        s.env.Now(),
 		Routing:        s.cfg.Routing,
 		Job:            job,
 		Collector:      merged,
 		Results:        merged.Results,
+	}
+	if s.admission != nil {
+		rep.Admission = s.admission.Stats()
 	}
 	jobs := []*core.Job{job}
 	if pool != nil {
@@ -113,6 +136,9 @@ func (s *Session) buildReport(job *core.Job, pool *core.Pool, merged *core.Colle
 			Latency:        perGroup[i].Latency(),
 			Job:            tj,
 			Collector:      perGroup[i],
+		}
+		if s.cfg.SLO > 0 {
+			tr.Goodput = perGroup[i].Goodput()
 		}
 		if tr.TDPWatts > 0 {
 			tr.ImagesPerWatt = power.ImagesPerWatt(tr.Throughput, tr.TDPWatts)
@@ -149,18 +175,37 @@ func (r *Report) String() string {
 	}
 	if r.Latency.N > 0 {
 		ms := func(d time.Duration) float64 { return d.Seconds() * 1e3 }
-		fmt.Fprintf(&b, "\n%-18s %10s %10s %10s %10s %11s %11s\n",
+		fmt.Fprintf(&b, "\n%-18s %10s %10s %10s %10s %11s %11s",
 			"latency", "p50(ms)", "p95(ms)", "p99(ms)", "max(ms)", "queue(ms)", "service(ms)")
-		lrow := func(name string, l core.LatencySummary) {
-			fmt.Fprintf(&b, "%-18s %10.1f %10.1f %10.1f %10.1f %11.1f %11.1f\n",
+		if r.SLO > 0 {
+			fmt.Fprintf(&b, " %8s", "goodput")
+		}
+		b.WriteString("\n")
+		lrow := func(name string, l core.LatencySummary, goodput float64) {
+			fmt.Fprintf(&b, "%-18s %10.1f %10.1f %10.1f %10.1f %11.1f %11.1f",
 				name, ms(l.P50), ms(l.P95), ms(l.P99), ms(l.Max), ms(l.QueueMean), ms(l.ServiceMean))
+			if r.SLO > 0 {
+				fmt.Fprintf(&b, " %7.1f%%", goodput*100)
+			}
+			b.WriteString("\n")
 		}
 		for _, t := range r.Targets {
-			lrow(t.Name, t.Latency)
+			lrow(t.Name, t.Latency, t.Goodput)
 		}
 		if len(r.Targets) > 1 {
-			lrow("total", r.Latency)
+			// The column is completion-based throughout (fraction of
+			// served items meeting the SLO); the arrival-based goodput,
+			// which also counts drops, is on the slo summary line below.
+			merged := 0.0
+			if r.Collector.N > 0 {
+				merged = float64(r.Collector.WithinSLO) / float64(r.Collector.N)
+			}
+			lrow("total", r.Latency, merged)
 		}
+	}
+	if r.SLO > 0 {
+		fmt.Fprintf(&b, "slo %v: goodput %.1f%% of %d arrivals (shed %d, expired %d)\n",
+			r.SLO, r.Goodput*100, r.Collector.Arrivals(), r.Collector.Shed, r.Collector.Expired)
 	}
 	fmt.Fprintf(&b, "simulated time %v", r.SimTime)
 	if len(r.Targets) > 1 {

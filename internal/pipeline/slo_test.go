@@ -1,0 +1,116 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestSessionSLOAdmissionReport: a session driven past capacity with
+// bounded admission must report coherent goodput/shed accounting —
+// every arrival is either served or dropped, goodput counts only
+// SLO-met completions, and the rendered report carries the columns.
+func TestSessionSLOAdmissionReport(t *testing.T) {
+	const images = 120
+	sess, err := New(
+		WithImages(images),
+		WithCPU(8),
+		// CPU batch-8 capacity is ≈44 img/s; 90/s is far past the knee.
+		WithArrivals(core.PoissonArrivals(90)),
+		WithSLO(400*time.Millisecond),
+		WithAdmission(8, core.ShedNewest),
+		WithAdaptiveBatching(30*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.SLO != 400*time.Millisecond {
+		t.Errorf("report SLO %v, want 400ms", rep.SLO)
+	}
+	dropped := rep.Admission.Shed + rep.Admission.Expired
+	if rep.Admission.Arrived != images {
+		t.Errorf("admission saw %d arrivals, want %d", rep.Admission.Arrived, images)
+	}
+	if rep.Images+dropped != images {
+		t.Errorf("served %d + dropped %d != %d arrivals", rep.Images, dropped, images)
+	}
+	if dropped == 0 {
+		t.Error("nothing dropped at 2x capacity with an 8-deep ingress")
+	}
+	if rep.Collector.Arrivals() != images {
+		t.Errorf("collector accounts %d arrivals, want %d", rep.Collector.Arrivals(), images)
+	}
+	if rep.Goodput <= 0 || rep.Goodput >= 1 {
+		t.Errorf("goodput %.3f, want in (0,1) past the knee", rep.Goodput)
+	}
+	if want := float64(dropped) / float64(images); rep.ShedRate != want {
+		t.Errorf("shed rate %.3f, want %.3f", rep.ShedRate, want)
+	}
+	for _, tr := range rep.Targets {
+		if tr.Goodput < 0 || tr.Goodput > 1 {
+			t.Errorf("group %s goodput %.3f out of range", tr.Name, tr.Goodput)
+		}
+	}
+	out := rep.String()
+	for _, needle := range []string{"goodput", "slo 400ms", "shed"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("report rendering lacks %q:\n%s", needle, out)
+		}
+	}
+}
+
+// TestSessionSLOWithoutAdmission: with an SLO but unbounded ingress,
+// nothing is shed and goodput is simply the SLO-met fraction.
+func TestSessionSLOWithoutAdmission(t *testing.T) {
+	sess, err := New(
+		WithImages(60),
+		WithCPU(8),
+		WithArrivals(core.PoissonArrivals(20)), // well below capacity
+		WithSLO(time.Second),
+		WithAdaptiveBatching(30*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ShedRate != 0 || rep.Admission != (core.AdmissionStats{}) {
+		t.Errorf("unbounded session reports drops: shed rate %.3f, admission %+v",
+			rep.ShedRate, rep.Admission)
+	}
+	if rep.Goodput != 1.0 {
+		t.Errorf("goodput %.3f, want 1.0 at light load under a 1s SLO", rep.Goodput)
+	}
+}
+
+// TestSessionOptionValidation: the new options reject broken values.
+func TestSessionOptionValidation(t *testing.T) {
+	bad := []Option{
+		WithSLO(-time.Second),
+		WithAdmission(-1, core.ShedNewest),
+		WithAdmission(4, core.OverloadPolicy(9)),
+		WithAdaptiveBatching(-time.Millisecond),
+	}
+	for i, opt := range bad {
+		if _, err := New(WithImages(10), WithCPU(8), opt); err == nil {
+			t.Errorf("bad option %d accepted", i)
+		}
+	}
+	// Admission against an eager closed-loop dataset would shed the
+	// whole set at t=0; the session must refuse the combination.
+	if _, err := New(WithImages(10), WithCPU(8), WithAdmission(4, core.ShedNewest)); err == nil {
+		t.Error("admission without a paced source accepted")
+	}
+	if _, err := New(WithImages(10), WithCPU(8), WithStream(0), WithAdmission(4, core.ShedNewest)); err != nil {
+		t.Errorf("admission over a stream rejected: %v", err)
+	}
+}

@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Queue is a FIFO channel between simulated processes, optionally
 // bounded. It models the NCS inference FIFO (bounded: the device
@@ -66,6 +69,63 @@ func (q *Queue[T]) TryPut(v T) bool {
 		g.wake()
 	}
 	return true
+}
+
+// GetWithin removes and returns the oldest item like Get, but waits
+// at most d of virtual time: ok=false reports that the deadline
+// passed with the queue still empty. d == 0 is a non-blocking poll.
+// The timeout is an ordinary scheduled event, so an item put at the
+// same instant as the deadline by an earlier-scheduled process still
+// wins — deterministic like everything else in the kernel.
+func (q *Queue[T]) GetWithin(p *Proc, d time.Duration) (T, bool) {
+	var zero T
+	if d < 0 {
+		panic(fmt.Sprintf("sim: queue %q GetWithin with negative wait %v", q.name, d))
+	}
+	deadline := p.env.now + d
+	for len(q.items) == 0 {
+		if p.env.now >= deadline {
+			return zero, false
+		}
+		timedOut := false
+		p.env.At(deadline, func() {
+			// Fires only if p is still parked as a getter of this
+			// queue: a putter may have woken p first (dropGetter then
+			// misses), or p may even have re-parked here through a
+			// later Get — a spurious wake the getter loops absorb.
+			if q.dropGetter(p) {
+				timedOut = true
+				p.wake()
+			}
+		})
+		q.getters = append(q.getters, p)
+		p.blockUnscheduled()
+		if timedOut {
+			return zero, false
+		}
+		// Woken by a putter; re-check in case another consumer took
+		// the item at the same instant.
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	if len(q.putters) > 0 {
+		w := q.putters[0]
+		q.putters = q.putters[1:]
+		w.wake()
+	}
+	return v, true
+}
+
+// dropGetter removes p from the getter wait list, reporting whether
+// it was parked there.
+func (q *Queue[T]) dropGetter(p *Proc) bool {
+	for i, g := range q.getters {
+		if g == p {
+			q.getters = append(q.getters[:i], q.getters[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // Get removes and returns the oldest item, blocking while empty.

@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestGetWithinTimesOut: a consumer on an empty queue gives up exactly
+// at the deadline, in virtual time.
+func TestGetWithinTimesOut(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue[int](env, "q", 0)
+	var at time.Duration
+	var got bool
+	env.Process("consumer", func(p *Proc) {
+		_, got = q.GetWithin(p, 30*time.Millisecond)
+		at = p.Now()
+	})
+	env.Run()
+	if got {
+		t.Fatal("GetWithin returned an item from an empty queue")
+	}
+	if at != 30*time.Millisecond {
+		t.Errorf("timed out at %v, want 30ms", at)
+	}
+}
+
+// TestGetWithinReturnsEarly: an item arriving before the deadline is
+// delivered at its arrival instant, and the pending timeout event must
+// not disturb the consumer afterwards.
+func TestGetWithinReturnsEarly(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue[int](env, "q", 0)
+	env.Process("producer", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		q.Put(p, 7)
+	})
+	var v int
+	var got bool
+	var at, after time.Duration
+	env.Process("consumer", func(p *Proc) {
+		v, got = q.GetWithin(p, time.Second)
+		at = p.Now()
+		// Sleep past the stale deadline; a buggy timeout would try to
+		// wake us out of this sleep or corrupt the wait accounting.
+		p.Sleep(2 * time.Second)
+		after = p.Now()
+	})
+	env.Run()
+	if !got || v != 7 {
+		t.Fatalf("got (%d, %v), want (7, true)", v, got)
+	}
+	if at != 10*time.Millisecond {
+		t.Errorf("delivered at %v, want 10ms", at)
+	}
+	if after != 10*time.Millisecond+2*time.Second {
+		t.Errorf("consumer resumed at %v after stale deadline", after)
+	}
+}
+
+// TestGetWithinZeroIsPoll: d == 0 never blocks.
+func TestGetWithinZeroIsPoll(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue[int](env, "q", 0)
+	env.Process("consumer", func(p *Proc) {
+		if _, ok := q.GetWithin(p, 0); ok {
+			t.Error("poll of empty queue returned an item")
+		}
+		q.TryPut(3)
+		if v, ok := q.GetWithin(p, 0); !ok || v != 3 {
+			t.Errorf("poll got (%d, %v), want (3, true)", v, ok)
+		}
+		if p.Now() != 0 {
+			t.Errorf("poll advanced the clock to %v", p.Now())
+		}
+	})
+	env.Run()
+}
+
+// TestGetWithinDeadlineInstantPut: an item put exactly at the deadline
+// by a process scheduled before the timeout event still wins — event
+// order is (time, sequence), and the put was scheduled first.
+func TestGetWithinDeadlineInstantPut(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue[int](env, "q", 0)
+	// The producer's sleep-until-50ms event is scheduled before the
+	// consumer's timeout event (the consumer starts second).
+	env.Process("producer", func(p *Proc) {
+		p.Sleep(50 * time.Millisecond)
+		q.Put(p, 9)
+	})
+	var v int
+	var got bool
+	env.Process("consumer", func(p *Proc) {
+		v, got = q.GetWithin(p, 50*time.Millisecond)
+	})
+	env.Run()
+	if !got || v != 9 {
+		t.Errorf("got (%d, %v), want (9, true) at the shared instant", v, got)
+	}
+}
+
+// TestGetWithinStaleTimerSpuriousWake: after an early return, the
+// consumer re-parks on the same queue with a plain Get; the stale
+// timeout must not break the blocking Get (its loop absorbs the
+// spurious wake) and the item put later is still delivered.
+func TestGetWithinStaleTimerSpuriousWake(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue[int](env, "q", 0)
+	env.Process("producer", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		q.Put(p, 1) // satisfies the GetWithin early
+		p.Sleep(time.Second)
+		q.Put(p, 2) // arrives long after the stale 5ms deadline
+	})
+	var order []int
+	env.Process("consumer", func(p *Proc) {
+		v, ok := q.GetWithin(p, 5*time.Millisecond)
+		if !ok {
+			t.Error("first GetWithin should get an item at 1ms")
+		}
+		order = append(order, v)
+		order = append(order, q.Get(p)) // parked across the stale deadline
+	})
+	env.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Errorf("delivered %v, want [1 2]", order)
+	}
+}
+
+// TestGetWithinNegativePanics: a negative wait is a caller bug.
+func TestGetWithinNegativePanics(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue[int](env, "q", 0)
+	env.Process("consumer", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative GetWithin did not panic")
+			}
+		}()
+		q.GetWithin(p, -time.Millisecond)
+	})
+	env.Run()
+}
+
+// TestGetWithinWakesBlockedPutter: taking an item through GetWithin
+// frees capacity like Get, waking a producer blocked on a full queue.
+func TestGetWithinWakesBlockedPutter(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue[int](env, "q", 1)
+	var putDone time.Duration
+	env.Process("producer", func(p *Proc) {
+		q.Put(p, 1)
+		q.Put(p, 2) // blocks on the full queue
+		putDone = p.Now()
+	})
+	env.Process("consumer", func(p *Proc) {
+		p.Sleep(20 * time.Millisecond)
+		if v, ok := q.GetWithin(p, time.Second); !ok || v != 1 {
+			t.Errorf("got (%d, %v), want (1, true)", v, ok)
+		}
+	})
+	env.Run()
+	if putDone != 20*time.Millisecond {
+		t.Errorf("second put completed at %v, want 20ms", putDone)
+	}
+}

@@ -229,7 +229,46 @@ type (
 	// LatencySummary is a per-item serving-latency distribution:
 	// exact tail quantiles plus the queue-wait/service-time split.
 	LatencySummary = core.LatencySummary
+	// AdmissionQueue is a bounded serving ingress: arrivals beyond
+	// its depth are handled by an OverloadPolicy, items queued past
+	// their deadline are dropped as expired.
+	AdmissionQueue = core.AdmissionQueue
+	// AdmissionOptions configures an AdmissionQueue.
+	AdmissionOptions = core.AdmissionOptions
+	// AdmissionStats counts arrivals, admissions, sheds, expiries and
+	// dispatches at the admission edge.
+	AdmissionStats = core.AdmissionStats
+	// OverloadPolicy selects what a full admission queue does with a
+	// new arrival.
+	OverloadPolicy = core.OverloadPolicy
+	// DropReason says why the admission edge dropped an item.
+	DropReason = core.DropReason
+	// BatchAssembly configures adaptive batch assembly on a
+	// BatchTarget (max-wait partial batches, backlog-sized batches).
+	BatchAssembly = core.BatchAssembly
 )
+
+// Overload policies for bounded admission.
+const (
+	// ShedNewest rejects the arriving item when the queue is full.
+	ShedNewest = core.ShedNewest
+	// ShedOldest evicts the stalest queued item to admit the arrival.
+	ShedOldest = core.ShedOldest
+	// BlockOnFull applies backpressure instead of shedding.
+	BlockOnFull = core.Block
+)
+
+// Admission drop reasons (AdmissionOptions.OnDrop, Collector.NoteDrop).
+const (
+	DropShed    = core.DropShed
+	DropExpired = core.DropExpired
+)
+
+// NewAdmissionQueue wraps a source with bounded admission for
+// hand-wired serving experiments; sessions use WithAdmission instead.
+func NewAdmissionQueue(env *Env, inner Source, opts AdmissionOptions) (*AdmissionQueue, error) {
+	return core.NewAdmissionQueue(env, inner, opts)
+}
 
 // Scheduling policies (the multi-VPU target's internal dispatch).
 const (
@@ -369,6 +408,28 @@ func WithGroup(g DeviceGroup) SessionOption { return pipeline.WithGroup(g) }
 // distributions measure real queueing against offered load, and
 // work conservation holds per arrival rather than per drain.
 func WithArrivals(a Arrivals) SessionOption { return pipeline.WithArrivals(a) }
+
+// WithSLO sets the per-item serving deadline the session measures
+// goodput against: the report gains per-group and aggregate goodput,
+// and a bounded ingress (WithAdmission) drops items whose deadline
+// lapses while queued.
+func WithSLO(target time.Duration) SessionOption { return pipeline.WithSLO(target) }
+
+// WithAdmission bounds the session ingress with an admission queue of
+// the given depth under the overload policy (ShedNewest, ShedOldest,
+// BlockOnFull) — tail latency is capped by design instead of growing
+// without bound past the saturation knee.
+func WithAdmission(depth int, policy OverloadPolicy) SessionOption {
+	return pipeline.WithAdmission(depth, policy)
+}
+
+// WithAdaptiveBatching makes every CPU/GPU group assemble batches
+// adaptively: batch size tracks the observed backlog and a partial
+// batch closes at most maxWait after its first item was pulled, so
+// lightly loaded batch devices serve at single-item latency.
+func WithAdaptiveBatching(maxWait time.Duration) SessionOption {
+	return pipeline.WithAdaptiveBatching(maxWait)
+}
 
 // WithStream replaces the dataset source with a push-style stream of
 // the given buffer capacity (0 = unbounded); feed it via
@@ -520,6 +581,10 @@ type (
 	// ServingPoint is one (configuration, offered load) measurement of
 	// the serving experiment (Benchmarks.ServingPoints).
 	ServingPoint = bench.ServingPoint
+	// SLOPoint is one (configuration, serving-edge variant, offered
+	// load) measurement of the slo experiment (Benchmarks.SLOPoints):
+	// fixed vs adaptive batch assembly, open vs bounded admission.
+	SLOPoint = bench.SLOPoint
 )
 
 // DefaultBenchConfig returns the paper-scale experiment configuration.

@@ -1,16 +1,24 @@
 #!/usr/bin/env sh
 # Regenerate the paper's evaluation benchmarks at CI scale into
 # .bench/ (one benchmark per figure; see bench_test.go), then emit the
-# machine-readable perf snapshot BENCH_PR2.json (per device group:
-# achieved img/s and tail latency per offered load) from the serving
-# experiment. Override the measuring window with NCSW_BENCH_TIME, the
-# text output with NCSW_BENCH_OUT, the JSON output with
-# NCSW_BENCH_JSON.
+# machine-readable perf snapshot BENCH_PR<n>.json from the slo serving
+# experiment. <n> is the newest PR recorded in CHANGES.md, so each
+# PR's run lands in its own snapshot without editing this script.
+#
+# Overrides: NCSW_BENCH_TIME (benchmark measuring window),
+# NCSW_BENCH_OUT (text output), NCSW_BENCH_JSON (snapshot path),
+# NCSW_BENCH_JSON_FLAGS (ncsw-bench flags producing the snapshot).
 set -eu
 
+cd "$(dirname "$0")/.."
+
+if [ -z "${NCSW_BENCH_JSON:-}" ]; then
+	pr=$(sed -n 's/^- PR \([0-9][0-9]*\).*/\1/p' CHANGES.md | sort -n | tail -1)
+	NCSW_BENCH_JSON="BENCH_PR${pr:-0}.json"
+fi
 OUT_FILE=${NCSW_BENCH_OUT:-.bench/figures.txt}
-JSON_FILE=${NCSW_BENCH_JSON:-BENCH_PR2.json}
 BENCH_TIME=${NCSW_BENCH_TIME:-200ms}
+JSON_FLAGS=${NCSW_BENCH_JSON_FLAGS:--slo -json}
 
 mkdir -p "$(dirname "$OUT_FILE")"
 
@@ -19,5 +27,6 @@ go test . \
 	-bench . \
 	-benchtime "$BENCH_TIME" | tee "$OUT_FILE"
 
-echo "== serving points -> $JSON_FILE =="
-go run ./cmd/ncsw-bench -serve -json > "$JSON_FILE"
+echo "== slo serving points -> $NCSW_BENCH_JSON =="
+# shellcheck disable=SC2086 # JSON_FLAGS is a flag list by contract
+go run ./cmd/ncsw-bench $JSON_FLAGS > "$NCSW_BENCH_JSON"
