@@ -14,6 +14,8 @@
 //	ncsw-bench -serve -json            # machine-readable serving points
 //	ncsw-bench -slo                    # adaptive batching + admission vs baseline
 //	ncsw-bench -slo -json              # machine-readable slo points (BENCH_PR3.json)
+//	ncsw-bench -faults                 # goodput under injected faults, recovery vs fail-stop
+//	ncsw-bench -faults -json           # machine-readable resilience points (BENCH_PR4.json)
 package main
 
 import (
@@ -45,8 +47,10 @@ func main() {
 		"run the serving experiment (tail latency vs offered load per device group)")
 	slo := flag.Bool("slo", false,
 		"run the slo experiment (adaptive batching + admission control vs the fixed/open baseline)")
+	faults := flag.Bool("faults", false,
+		"run the resilience experiment (goodput/p99 under injected faults, self-healing recovery vs fail-stop)")
 	jsonOut := flag.Bool("json", false,
-		"with -serve or -slo: emit the experiment's points as JSON (the BENCH_PR*.json format)")
+		"with -serve, -slo or -faults: emit the experiment's points as JSON (the BENCH_PR*.json format)")
 	flag.Parse()
 
 	if *hetero {
@@ -79,16 +83,16 @@ func main() {
 
 	ids := repro.ExperimentIDs()
 	if *experiment != "all" {
-		if *serve || *slo {
-			log.Fatal("-serve/-slo and -experiment are mutually exclusive (use -experiment serving,slo to mix)")
+		if *serve || *slo || *faults {
+			log.Fatal("-serve/-slo/-faults and -experiment are mutually exclusive (use -experiment serving,slo,resilience to mix)")
 		}
 		ids = strings.Split(*experiment, ",")
 	}
-	if *serve && *slo {
-		log.Fatal("-serve and -slo are mutually exclusive")
+	if (*serve && *slo) || (*serve && *faults) || (*slo && *faults) {
+		log.Fatal("-serve, -slo and -faults are mutually exclusive")
 	}
-	if *jsonOut && !*serve && !*slo {
-		log.Fatal("-json requires -serve or -slo (only their points have a JSON form)")
+	if *jsonOut && !*serve && !*slo && !*faults {
+		log.Fatal("-json requires -serve, -slo or -faults (only their points have a JSON form)")
 	}
 	if *serve {
 		if *jsonOut {
@@ -103,6 +107,13 @@ func main() {
 			return
 		}
 		ids = []string{"slo"}
+	}
+	if *faults {
+		if *jsonOut {
+			emitResilienceJSON(h)
+			return
+		}
+		ids = []string{"resilience"}
 	}
 	for _, id := range ids {
 		start := time.Now()
@@ -155,6 +166,26 @@ func emitSLOJSON(h *repro.Benchmarks) {
 		Experiment string           `json:"experiment"`
 		Points     []repro.SLOPoint `json:"points"`
 	}{Experiment: "slo", Points: points}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// emitResilienceJSON runs the resilience experiment and emits the
+// machine-readable points (per configuration and fault level: goodput,
+// tail latency, retries, drops, outages, MTTR and uptime for the
+// self-healing and fail-stop policies) that scripts/bench.sh stores as
+// the current PR's BENCH_PR*.json snapshot.
+func emitResilienceJSON(h *repro.Benchmarks) {
+	points, err := h.ResiliencePoints()
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Experiment string                  `json:"experiment"`
+		Points     []repro.ResiliencePoint `json:"points"`
+	}{Experiment: "resilience", Points: points}); err != nil {
 		log.Fatal(err)
 	}
 }

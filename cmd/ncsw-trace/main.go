@@ -1,18 +1,24 @@
 // Command ncsw-trace renders the paper's Fig. 4: the execution
 // timeline of the parallel multi-VPU pipeline — forked host workers
 // loading inputs, SHAVE execution overlapping across sticks, and
-// result reads — as an ASCII chart or CSV.
+// result reads — as an ASCII chart or CSV. With -faults it overlays a
+// scripted failure scenario (slowdown, stick hang, link drop) and the
+// self-healing pipeline's response: `!` marks injections, `X` marks
+// each outage from detection to rejoin, so failure scenarios are
+// visually debuggable.
 //
 // Examples:
 //
 //	ncsw-trace -devices 4 -images 12
 //	ncsw-trace -devices 8 -images 32 -csv
+//	ncsw-trace -devices 4 -faults
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"repro"
 	"repro/internal/trace"
@@ -27,6 +33,8 @@ func main() {
 	width := flag.Int("width", 100, "chart width in columns")
 	csv := flag.Bool("csv", false, "emit CSV spans instead of the ASCII chart")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	faults := flag.Bool("faults", false,
+		"inject a scripted failure scenario (slowdown, hang, link drop) with recovery enabled and annotate the chart")
 	flag.Parse()
 
 	env := repro.NewEnv()
@@ -43,6 +51,38 @@ func main() {
 	tl := repro.NewTimeline()
 	opts := repro.DefaultVPUOptions()
 	opts.Timeline = tl
+	var faultLog *repro.FaultLog
+	if *faults {
+		// Size the scenario so the faults land mid-steady-state: the
+		// main process opens sticks sequentially (~1.05 s each: firmware
+		// upload, RTOS boot, graph allocation), then each stick serves
+		// ~101 ms per image.
+		if *images < 30**devices {
+			*images = 30 * *devices
+		}
+		setup := time.Duration(*devices) * 1100 * time.Millisecond
+		opts.Recovery = repro.RecoveryConfig{Timeout: 500 * time.Millisecond, Recover: true}
+		reg := repro.FaultRegistry{}
+		for _, d := range sticks {
+			reg.Add(d.Name(), d)
+		}
+		plan := repro.FaultPlan{Events: []repro.FaultEvent{
+			{Device: sticks[0].Name(), Kind: repro.Slowdown, At: setup + 200*time.Millisecond,
+				Factor: 3, Duration: time.Second},
+			{Device: sticks[len(sticks)-1].Name(), Kind: repro.StickHang, At: setup + 300*time.Millisecond},
+		}}
+		if len(sticks) > 2 {
+			plan.Events = append(plan.Events, repro.FaultEvent{
+				Device: sticks[1].Name(), Kind: repro.LinkDrop, At: setup + 600*time.Millisecond})
+		}
+		faultLog, err = repro.ApplyFaults(env, plan, repro.Seed(*seed), reg,
+			func(inj repro.FaultInjection) {
+				tl.Add(inj.Device, trace.Fault, inj.At, inj.Until, inj.Kind.String())
+			})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 	target, err := repro.NewVPUTarget(sticks, blob, opts)
 	if err != nil {
 		log.Fatal(err)
@@ -76,4 +116,13 @@ func main() {
 	fmt.Print(steady.Render(*width))
 	fmt.Printf("\nexec overlap across devices: %v of %v steady-state\n",
 		steady.Overlap(trace.Exec), job.DoneAt-job.ReadyAt)
+	if faultLog != nil {
+		fmt.Printf("\ninjected faults (%d):\n", faultLog.Count())
+		for _, inj := range faultLog.Injections {
+			fmt.Printf("  %v\n", inj)
+		}
+		fmt.Printf("outage spans (X) run from detection (completion timeout %v) to rejoin after the\n",
+			opts.Recovery.Timeout)
+		fmt.Println("reboot-priced recovery: reset, firmware re-upload, RTOS boot, graph re-allocation")
+	}
 }

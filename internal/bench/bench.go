@@ -193,6 +193,7 @@ func (h *Harness) All() ([]*Table, error) {
 		{"gemm", h.GEMMStudy},
 		{"serving", h.Serving},
 		{"slo", h.SLO},
+		{"resilience", h.Resilience},
 	}
 	var out []*Table
 	for _, g := range gens {
@@ -232,6 +233,8 @@ func (h *Harness) Experiment(id string) (*Table, error) {
 		return h.Serving()
 	case "slo":
 		return h.SLO()
+	case "resilience":
+		return h.Resilience()
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", id, ExperimentIDs())
 	}
@@ -253,5 +256,5 @@ func precisionImages(cfg Config) int {
 // ExperimentIDs lists the available artefacts: the paper's figures in
 // order, the headline summary, and the beyond-the-paper studies.
 func ExperimentIDs() []string {
-	return []string{"fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "summary", "ablation", "precision", "gemm", "serving", "slo"}
+	return []string{"fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "summary", "ablation", "precision", "gemm", "serving", "slo", "resilience"}
 }

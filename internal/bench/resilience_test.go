@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestResilienceShape asserts the resilience experiment's qualitative
+// content at quick scale — the PR's acceptance bar:
+//
+//  1. with the empty plan, the unmonitored control and both monitored
+//     policies produce identical results (monitoring is free);
+//  2. under every injected fault level, the recovery policy holds
+//     strictly higher goodput than fail-stop against the identical
+//     fault and arrival sequences;
+//  3. the availability counters are coherent (recovery repairs every
+//     outage, fail-stop repairs none, uptime falls with faults).
+func TestResilienceShape(t *testing.T) {
+	skipHeavy(t)
+	pts, err := harness(t).ResiliencePoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(resilienceConfigs()) * (1 + 3 + 2*(len(resilienceLevels())-1))
+	if len(pts) != want {
+		t.Fatalf("%d resilience points, want %d", len(pts), want)
+	}
+	type cell struct{ config, faults string }
+	byCell := map[cell]map[string]ResiliencePoint{}
+	for _, p := range pts {
+		if p.Recovery == "probe" {
+			if p.AchievedIPS <= 0 || p.SLOMS <= 0 {
+				t.Errorf("%s: capacity probe %.2f img/s, slo %.1fms", p.Config, p.AchievedIPS, p.SLOMS)
+			}
+			continue
+		}
+		k := cell{p.Config, p.Faults}
+		if byCell[k] == nil {
+			byCell[k] = map[string]ResiliencePoint{}
+		}
+		byCell[k][p.Recovery] = p
+		if p.GoodputPct < 0 || p.GoodputPct > 100 || p.UptimePct < 0 || p.UptimePct > 100 {
+			t.Errorf("%s %s/%s: goodput %.1f%% uptime %.1f%% out of range",
+				p.Config, p.Faults, p.Recovery, p.GoodputPct, p.UptimePct)
+		}
+	}
+	for _, cfg := range resilienceConfigs() {
+		// (1) The empty plan is indistinguishable across policies.
+		none := byCell[cell{cfg.name, "none"}]
+		for _, policy := range []string{"fail-stop", "recovery"} {
+			a, b := none["none"], none[policy]
+			b.Recovery = a.Recovery
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("%s: empty-plan %s differs from the unmonitored control:\n%+v\nvs\n%+v",
+					cfg.name, policy, b, a)
+			}
+		}
+		if none["none"].Injected != 0 || none["none"].Outages != 0 {
+			t.Errorf("%s: empty plan injected %d faults, %d outages",
+				cfg.name, none["none"].Injected, none["none"].Outages)
+		}
+		// (2) + (3) per fault level.
+		for _, lvl := range []string{"light", "heavy"} {
+			c := byCell[cell{cfg.name, lvl}]
+			rec, fs := c["recovery"], c["fail-stop"]
+			if rec.Injected == 0 || rec.Injected != fs.Injected {
+				t.Errorf("%s/%s: fault sequences differ or are empty (%d vs %d injected)",
+					cfg.name, lvl, rec.Injected, fs.Injected)
+			}
+			if rec.GoodputPct <= fs.GoodputPct {
+				t.Errorf("%s/%s: recovery goodput %.1f%% not strictly above fail-stop %.1f%%",
+					cfg.name, lvl, rec.GoodputPct, fs.GoodputPct)
+			}
+			if rec.Outages == 0 || rec.Recovered != rec.Outages {
+				t.Errorf("%s/%s: recovery repaired %d of %d outages", cfg.name, lvl, rec.Recovered, rec.Outages)
+			}
+			if fs.Recovered != 0 {
+				t.Errorf("%s/%s: fail-stop repaired %d outages", cfg.name, lvl, fs.Recovered)
+			}
+			if rec.MTTRMS <= 0 {
+				t.Errorf("%s/%s: recovery MTTR %.1fms", cfg.name, lvl, rec.MTTRMS)
+			}
+			if rec.UptimePct >= 100 || fs.UptimePct >= rec.UptimePct {
+				t.Errorf("%s/%s: uptime recovery %.1f%% vs fail-stop %.1f%% incoherent",
+					cfg.name, lvl, rec.UptimePct, fs.UptimePct)
+			}
+		}
+	}
+}
+
+// TestResilienceDeterministic re-runs one faulted cell on a fresh
+// harness and asserts bit-identical points — the reproducibility
+// claim the CI determinism gate enforces end to end.
+func TestResilienceDeterministic(t *testing.T) {
+	skipHeavy(t)
+	run := func() []ResiliencePoint {
+		cfg := QuickConfig()
+		cfg.ImagesPerSubset = 100 // determinism needs no statistical weight
+		h, err := NewHarness(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts, err := h.ResiliencePoints()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Error("two runs of the resilience experiment differ")
+	}
+}

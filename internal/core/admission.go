@@ -71,12 +71,20 @@ const (
 	// the queue; it is discarded at dispatch instead of being handed to
 	// a device that could only complete it late.
 	DropExpired
+	// DropFailed marks an item lost to device failure after its
+	// redelivery budget ran out (or with recovery disabled) — the
+	// fault-attributed drop the self-healing pipeline reports so
+	// goodput stays honest.
+	DropFailed
 )
 
 // String names the reason.
 func (d DropReason) String() string {
-	if d == DropExpired {
+	switch d {
+	case DropExpired:
 		return "expired"
+	case DropFailed:
+		return "failed"
 	}
 	return "shed"
 }

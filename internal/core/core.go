@@ -338,6 +338,21 @@ type Collector struct {
 	// Expired those dropped after their deadline lapsed in the queue;
 	// both come in through NoteDrop.
 	Shed, Expired int
+	// FaultDrops counts items lost to device failure after their
+	// redelivery budget ran out (NoteDrop with DropFailed) — they count
+	// against goodput like any other drop.
+	FaultDrops int
+	// Retries counts fault-triggered redeliveries (NoteRetry).
+	Retries int
+	// Outages counts detected device outages, Repaired those that
+	// ended in a successful recovery; Downtime accumulates
+	// detection-to-rejoin time across repaired outages (NoteOutage).
+	Outages, Repaired int
+	Downtime          time.Duration
+	// abandoned records the detection instants of outages that never
+	// recovered (fail-stop), so DowntimeThrough can charge them to the
+	// end of the run.
+	abandoned []time.Duration
 }
 
 // NewCollector creates a collector; retain keeps full results.
@@ -382,20 +397,67 @@ func (c *Collector) SetSLO(d time.Duration) { c.slo = d }
 // SLO returns the configured target (0 = none).
 func (c *Collector) SLO() time.Duration { return c.slo }
 
-// NoteDrop records one admission drop (DropShed or DropExpired) —
-// wire it to AdmissionQueue's OnDrop so dropped arrivals count
-// against goodput.
+// NoteDrop records one dropped item: an admission drop (DropShed,
+// DropExpired — wire it to AdmissionQueue's OnDrop) or a
+// fault-attributed loss (DropFailed — wire it to RecoveryConfig's
+// OnDrop). Every drop counts against goodput.
 func (c *Collector) NoteDrop(reason DropReason) {
-	if reason == DropExpired {
+	switch reason {
+	case DropExpired:
 		c.Expired++
-	} else {
+	case DropFailed:
+		c.FaultDrops++
+	default:
 		c.Shed++
 	}
 }
 
+// NoteRetry records one fault-triggered redelivery — wire it to
+// RecoveryConfig's OnRetry.
+func (c *Collector) NoteRetry() { c.Retries++ }
+
+// NoteOutage records one detected device outage: from is the
+// detection instant, to the rejoin (recovered) or abandonment
+// (fail-stop) instant — wire it to RecoveryConfig's OnOutage. An
+// abandoned device stays down for the rest of the run;
+// DowntimeThrough charges that residual.
+func (c *Collector) NoteOutage(from, to time.Duration, recovered bool) {
+	c.Outages++
+	if recovered {
+		c.Repaired++
+		if to > from {
+			c.Downtime += to - from
+		}
+	} else {
+		c.abandoned = append(c.abandoned, from)
+	}
+}
+
+// MTTR returns the mean time to repair across recovered outages
+// (0 when nothing recovered).
+func (c *Collector) MTTR() time.Duration {
+	if c.Repaired == 0 {
+		return 0
+	}
+	return c.Downtime / time.Duration(c.Repaired)
+}
+
+// DowntimeThrough returns total device downtime with abandoned
+// devices charged through end: repaired downtime plus end minus each
+// unrecovered outage's detection instant.
+func (c *Collector) DowntimeThrough(end time.Duration) time.Duration {
+	total := c.Downtime
+	for _, at := range c.abandoned {
+		if end > at {
+			total += end - at
+		}
+	}
+	return total
+}
+
 // Arrivals returns everything the serving system was offered: served
-// results plus admission drops.
-func (c *Collector) Arrivals() int { return c.N + c.Shed + c.Expired }
+// results plus every kind of drop.
+func (c *Collector) Arrivals() int { return c.N + c.Shed + c.Expired + c.FaultDrops }
 
 // Goodput returns the fraction of arrivals that completed within the
 // SLO — the serving metric bounded admission defends past the

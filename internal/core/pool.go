@@ -89,6 +89,16 @@ type Pool struct {
 	children []Target
 	opts     PoolOptions
 	jobs     []*Job
+	// down marks children whose HealthAware observer reports no healthy
+	// device left: their weight is effectively zero — the scored and
+	// dealt policies route around them — until they rejoin.
+	down []bool
+	// dispatching is true while the dispatcher loop is live; only then
+	// does a down transition drain the child's feed back for
+	// re-dispatch (afterwards the bounded feed is left for the child to
+	// drain on rejoin, or for the stranded-item accounting if it never
+	// does).
+	dispatching bool
 }
 
 // NewPool builds a device group over children.
@@ -270,6 +280,8 @@ func (pl *Pool) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 	var orphans []Item
 	done := sim.NewQueue[int](env, "pool/join", 0)
 	upstream, _ := src.(DepthSource)
+	pl.down = make([]bool, n)
+	pl.dispatching = false
 	for i, c := range pl.children {
 		var csrc Source
 		if pl.opts.Routing == RouteWorkStealing {
@@ -277,6 +289,20 @@ func (pl *Pool) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 		} else {
 			feeds[i] = sim.NewQueue[Item](env, fmt.Sprintf("pool/feed%d", i), pl.opts.QueueDepth)
 			csrc = &childFeed{q: feeds[i], upstream: upstream}
+		}
+		// Health-aware failover: a child reporting no healthy device is
+		// routed around (weight zero) and, while dealing is live, its
+		// bounded feed is drained back to the dispatcher for
+		// re-dispatch; it rejoins the deal on the first healthy report.
+		if ha, ok := c.(HealthAware); ok {
+			i := i
+			ha.SetHealthObserver(func(healthy, _ int, _ time.Duration) {
+				wasDown := pl.down[i]
+				pl.down[i] = healthy == 0
+				if pl.down[i] && !wasDown && pl.dispatching && feeds[i] != nil {
+					orphans = append(orphans, drainFeed(feeds[i])...)
+				}
+			})
 		}
 		cj := c.Start(env, csrc, childSink(i))
 		i := i
@@ -295,7 +321,9 @@ func (pl *Pool) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 			job.Err = routeErr
 			pl.shutdownFeeds(p, feeds)
 		} else if pl.opts.Routing != RouteWorkStealing {
+			pl.dispatching = true
 			pl.dispatch(p, src, feeds, &orphans, completed, ewma, total)
+			pl.dispatching = false
 		}
 		// Join every child, then aggregate.
 		for range pl.children {
@@ -421,16 +449,24 @@ func drainFeed(q *sim.Queue[Item]) []Item {
 
 // put delivers the item to child i, reroutes to the next live child
 // when i has already shut down, and reports which child received it
-// (ok=false when no child is left alive).
+// (ok=false when no child is left alive). Healthy children are
+// preferred; when every live child is unhealthy the item is queued on
+// the first live one anyway (its bounded feed absorbs a little work
+// until someone rejoins) rather than stalling the deal.
 func (pl *Pool) put(p *sim.Proc, feeds []*sim.Queue[Item], i int, item Item) (int, bool) {
 	n := len(feeds)
-	for off := 0; off < n; off++ {
-		j := (i + off) % n
-		if pl.jobs[j].done {
-			continue
+	for pass := 0; pass < 2; pass++ {
+		for off := 0; off < n; off++ {
+			j := (i + off) % n
+			if pl.jobs[j].done {
+				continue
+			}
+			if pass == 0 && pl.down[j] {
+				continue
+			}
+			feeds[j].Put(p, item)
+			return j, true
 		}
-		feeds[j].Put(p, item)
-		return j, true
 	}
 	return 0, false
 }
@@ -489,10 +525,21 @@ func (pl *Pool) dispatchLatency(p *sim.Proc, feeds []*sim.Queue[Item], dealt, co
 // blocks on the best child. Reports which child received the item
 // (ok=false when no child is left alive).
 func (pl *Pool) dispatchByScore(p *sim.Proc, feeds []*sim.Queue[Item], dealt []int, score func(int) float64, spill bool, item Item) (int, bool) {
+	// Unhealthy children are excluded from the deal (weight zero)
+	// until they rejoin; if every live child is down, deal to the live
+	// set anyway so the bounded feeds buffer the work instead of the
+	// pool stalling.
 	var order []int
 	for i := range feeds {
-		if !pl.jobs[i].done {
+		if !pl.jobs[i].done && !pl.down[i] {
 			order = append(order, i)
+		}
+	}
+	if len(order) == 0 {
+		for i := range feeds {
+			if !pl.jobs[i].done {
+				order = append(order, i)
+			}
 		}
 	}
 	if len(order) == 0 {

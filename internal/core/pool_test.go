@@ -353,6 +353,60 @@ func TestPoolRouteLatencySkewed(t *testing.T) {
 	}
 }
 
+// TestPoolRouteLatencyColdStartProbes: cold children score zero and
+// are probed first (DESIGN §3), so with equal children every one
+// receives work early and every estimate warms up — no child starves
+// behind a warmed-up favourite.
+func TestPoolRouteLatencyColdStartProbes(t *testing.T) {
+	const n = 9
+	children := []Target{
+		&stubTarget{name: "a", latency: time.Millisecond},
+		&stubTarget{name: "b", latency: time.Millisecond},
+		&stubTarget{name: "c", latency: time.Millisecond},
+	}
+	pool, job, seen := runPool(t, children, PoolOptions{Routing: RouteLatency}, n)
+	if job.Err != nil {
+		t.Fatal(job.Err)
+	}
+	checkConservation(t, seen, n, "latency cold start")
+	for i, cj := range pool.ChildJobs() {
+		if cj.Images == 0 {
+			t.Errorf("child %d never probed: 0 of %d items", i, n)
+		}
+	}
+}
+
+// TestPoolRouteLatencySpillOrder: when the preferred child's bounded
+// feed is full, the item spills down the *score* order — the
+// next-best child, not an arbitrary one (DESIGN §3). With three
+// children at 1/5/50 ms against an eager source, the overflow must
+// land mostly on the middle child and only lightly on the slowest.
+func TestPoolRouteLatencySpillOrder(t *testing.T) {
+	const n = 60
+	children := []Target{
+		&stubTarget{name: "fast", latency: time.Millisecond},
+		&stubTarget{name: "mid", latency: 5 * time.Millisecond},
+		&stubTarget{name: "slow", latency: 50 * time.Millisecond},
+	}
+	pool, job, seen := runPool(t, children, PoolOptions{Routing: RouteLatency}, n)
+	if job.Err != nil {
+		t.Fatal(job.Err)
+	}
+	checkConservation(t, seen, n, "latency spill order")
+	jobs := pool.ChildJobs()
+	if jobs[0].Images <= jobs[1].Images {
+		t.Errorf("fast child served %d <= mid's %d; preference order broken",
+			jobs[0].Images, jobs[1].Images)
+	}
+	if jobs[1].Images <= jobs[2].Images {
+		t.Errorf("mid child served %d <= slow's %d; spill must follow the score order",
+			jobs[1].Images, jobs[2].Images)
+	}
+	if jobs[1].Images == 0 {
+		t.Error("nothing spilled to the second-best child despite an eager source")
+	}
+}
+
 // TestPoolRouteLatencyTailUnderArrivals: under open-loop Poisson
 // traffic on a skewed pair, latency-aware routing must cut the p99
 // latency well below round-robin, which queues half the traffic on

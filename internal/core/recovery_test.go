@@ -1,0 +1,277 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// recoveryOutcome captures what the recovery hooks observed.
+type recoveryOutcome struct {
+	retries  int
+	drops    int
+	outages  int
+	repaired int
+	downtime time.Duration
+}
+
+func recoveryHooks(out *recoveryOutcome) (func(Item, time.Duration), func(Item, time.Duration), func(string, time.Duration, time.Duration, bool)) {
+	return func(Item, time.Duration) { out.retries++ },
+		func(Item, time.Duration) { out.drops++ },
+		func(_ string, from, to time.Duration, recovered bool) {
+			out.outages++
+			if recovered {
+				out.repaired++
+				out.downtime += to - from
+			}
+		}
+}
+
+// runFaulted drives images through a VPU target with the given
+// recovery policy, running inject at the given instant, and returns
+// the job, the per-index completion counts and the hook observations.
+func runFaulted(t *testing.T, devices, images int, rc RecoveryConfig, at time.Duration, inject func(tb *testbed)) (*Job, map[int]int, *recoveryOutcome) {
+	t.Helper()
+	tb := newTestbed(t, devices, nn.NewGoogLeNet(rng.New(1)), images)
+	out := &recoveryOutcome{}
+	rc.OnRetry, rc.OnDrop, rc.OnOutage = recoveryHooks(out)
+	opts := DefaultVPUOptions()
+	opts.Recovery = rc
+	target, err := NewVPUTarget(tb.devices, tb.blob, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewDatasetSource(tb.ds, 0, images, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inject != nil {
+		tb.env.At(at, func() { inject(tb) })
+	}
+	seen := map[int]int{}
+	job := target.Start(tb.env, src, func(r Result) { seen[r.Index]++ })
+	tb.env.Run()
+	return job, seen, out
+}
+
+// TestVPURecoveryHealsHang: a stick that hangs mid-run is detected by
+// the completion timeout, re-opened at the firmware-boot cost, and its
+// in-flight items are redelivered — every item completes exactly once
+// and the job carries no error.
+func TestVPURecoveryHealsHang(t *testing.T) {
+	const n = 30
+	rc := RecoveryConfig{Timeout: 500 * time.Millisecond, Recover: true, MaxAttempts: 3}
+	job, seen, out := runFaulted(t, 2, n, rc, 2200*time.Millisecond,
+		func(tb *testbed) { tb.devices[0].InjectHang() })
+	if job.Err != nil {
+		t.Fatalf("recovered job errored: %v", job.Err)
+	}
+	if len(seen) != n {
+		t.Fatalf("%d distinct items completed, want %d", len(seen), n)
+	}
+	for idx, c := range seen {
+		if c != 1 {
+			t.Errorf("item %d completed %d times", idx, c)
+		}
+	}
+	if out.outages != 1 || out.repaired != 1 {
+		t.Errorf("outages=%d repaired=%d, want 1/1", out.outages, out.repaired)
+	}
+	if out.retries == 0 {
+		t.Error("no redeliveries recorded for the hung device's in-flight items")
+	}
+	if out.drops != 0 {
+		t.Errorf("%d items dropped; recovery should redeliver them all", out.drops)
+	}
+	// The outage costs the detection timeout plus the real re-open
+	// (firmware upload + RTOS boot + graph re-allocation ≈ 1.7 s soup
+	// to nuts; the recorded span starts at detection).
+	if out.downtime < time.Second || out.downtime > 3*time.Second {
+		t.Errorf("recorded downtime %v implausible for a reboot-priced recovery", out.downtime)
+	}
+}
+
+// TestVPUFailStopAbandonsDevice: with recovery off (fail-stop), a hang
+// costs the hung device's in-flight items (dropped through OnDrop, so
+// goodput accounting stays honest) and the surviving stick absorbs the
+// rest of the source.
+func TestVPUFailStopAbandonsDevice(t *testing.T) {
+	const n = 30
+	rc := RecoveryConfig{Timeout: 500 * time.Millisecond, Recover: false}
+	job, seen, out := runFaulted(t, 2, n, rc, 2200*time.Millisecond,
+		func(tb *testbed) { tb.devices[0].InjectHang() })
+	if job.Err == nil {
+		t.Fatal("abandoning a device must surface on the job error")
+	}
+	if out.outages != 1 || out.repaired != 0 {
+		t.Errorf("outages=%d repaired=%d, want 1/0", out.outages, out.repaired)
+	}
+	if out.drops == 0 {
+		t.Error("fail-stop dropped nothing; the hung in-flight items must be accounted")
+	}
+	if got := len(seen) + out.drops; got != n {
+		t.Errorf("completed %d + dropped %d = %d items, want %d", len(seen), out.drops, got, n)
+	}
+	for idx, c := range seen {
+		if c != 1 {
+			t.Errorf("item %d completed %d times", idx, c)
+		}
+	}
+}
+
+// TestVPULinkDropRecovery: a severed USB link (MVNC_GONE) is detected
+// immediately (the blocked GetResult is woken with ErrClosed), the
+// device is re-enumerated and re-opened, and the run completes.
+func TestVPULinkDropRecovery(t *testing.T) {
+	const n = 24
+	rc := RecoveryConfig{Timeout: time.Second, Recover: true}
+	job, seen, out := runFaulted(t, 2, n, rc, 2200*time.Millisecond,
+		func(tb *testbed) { tb.devices[1].InjectLinkDrop() })
+	if job.Err != nil {
+		t.Fatalf("recovered job errored: %v", job.Err)
+	}
+	if len(seen) != n {
+		t.Fatalf("%d distinct items completed, want %d", len(seen), n)
+	}
+	if out.outages != 1 || out.repaired != 1 {
+		t.Errorf("outages=%d repaired=%d, want 1/1", out.outages, out.repaired)
+	}
+}
+
+// TestVPUTransientErrorsRedelivered: fault-injected transient
+// inference errors are redelivered within the attempt budget — no
+// outage, no drops, every item completes.
+func TestVPUTransientErrorsRedelivered(t *testing.T) {
+	const n = 20
+	rc := RecoveryConfig{Timeout: time.Second, Recover: true, MaxAttempts: 3}
+	job, seen, out := runFaulted(t, 1, n, rc, 2200*time.Millisecond,
+		func(tb *testbed) { tb.devices[0].InjectTransientErrors(2) })
+	if job.Err != nil {
+		t.Fatalf("job errored: %v", job.Err)
+	}
+	if len(seen) != n {
+		t.Fatalf("%d distinct items completed, want %d", len(seen), n)
+	}
+	if out.retries != 2 {
+		t.Errorf("retries = %d, want 2 (one per injected transient)", out.retries)
+	}
+	if out.outages != 0 || out.drops != 0 {
+		t.Errorf("outages=%d drops=%d; transient errors must not cost the device or the items",
+			out.outages, out.drops)
+	}
+}
+
+// TestVPUTransientBudgetExhausted: with a single delivery allowed, a
+// transient error consumes the item's whole budget and it is dropped.
+func TestVPUTransientBudgetExhausted(t *testing.T) {
+	const n = 20
+	rc := RecoveryConfig{Timeout: time.Second, Recover: true, MaxAttempts: 1}
+	job, seen, out := runFaulted(t, 1, n, rc, 2200*time.Millisecond,
+		func(tb *testbed) { tb.devices[0].InjectTransientErrors(3) })
+	if job.Err != nil {
+		t.Fatalf("job errored: %v", job.Err)
+	}
+	if out.drops != 3 {
+		t.Errorf("drops = %d, want 3 (budget of 1 delivery)", out.drops)
+	}
+	if out.retries != 0 {
+		t.Errorf("retries = %d, want 0", out.retries)
+	}
+	if got := len(seen) + out.drops; got != n {
+		t.Errorf("completed %d + dropped %d = %d, want %d", len(seen), out.drops, got, n)
+	}
+}
+
+// TestPoolRoutesAroundUnhealthyChild: in a pool of single-stick
+// groups under latency routing, a child whose stick hangs is marked
+// unhealthy — its feed is drained back and re-dealt to the healthy
+// child — and it rejoins after recovery; every item completes exactly
+// once with no pool error.
+func TestPoolRoutesAroundUnhealthyChild(t *testing.T) {
+	const n = 40
+	tb := newTestbed(t, 2, nn.NewGoogLeNet(rng.New(1)), n)
+	rc := RecoveryConfig{Timeout: 500 * time.Millisecond, Recover: true}
+	children := make([]Target, 2)
+	for i := range children {
+		opts := DefaultVPUOptions()
+		opts.Recovery = rc
+		target, err := NewVPUTarget(tb.devices[i:i+1], tb.blob, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		children[i] = target
+	}
+	pool, err := NewPool(children, PoolOptions{Routing: RouteLatency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewDatasetSource(tb.ds, 0, n, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.env.At(2200*time.Millisecond, func() { tb.devices[0].InjectHang() })
+	seen := map[int]int{}
+	job := pool.Start(tb.env, src, func(r Result) { seen[r.Index]++ })
+	tb.env.Run()
+	if job.Err != nil {
+		t.Fatalf("pool job errored: %v", job.Err)
+	}
+	if len(seen) != n {
+		t.Fatalf("%d distinct items completed, want %d", len(seen), n)
+	}
+	for idx, c := range seen {
+		if c != 1 {
+			t.Errorf("item %d completed %d times", idx, c)
+		}
+	}
+	jobs := pool.ChildJobs()
+	if jobs[1].Images <= jobs[0].Images {
+		t.Errorf("healthy child served %d vs hung child's %d; failover should shift the load",
+			jobs[1].Images, jobs[0].Images)
+	}
+}
+
+// TestRecoveryMonitoringFreeWithoutFaults: with no faults injected, a
+// health-monitored run must be indistinguishable from an unmonitored
+// one — same completions, same virtual-time spans — so the acceptance
+// bar "identical to the fault-free baseline under an empty plan"
+// holds by construction.
+func TestRecoveryMonitoringFreeWithoutFaults(t *testing.T) {
+	const n = 24
+	run := func(rc RecoveryConfig) (*Job, []Result) {
+		tb := newTestbed(t, 2, nn.NewGoogLeNet(rng.New(1)), n)
+		opts := DefaultVPUOptions()
+		opts.Recovery = rc
+		target, err := NewVPUTarget(tb.devices, tb.blob, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := NewDatasetSource(tb.ds, 0, n, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var results []Result
+		job := target.Start(tb.env, src, func(r Result) { results = append(results, r) })
+		tb.env.Run()
+		if job.Err != nil {
+			t.Fatal(job.Err)
+		}
+		return job, results
+	}
+	plainJob, plain := run(RecoveryConfig{})
+	monJob, monitored := run(DefaultRecoveryConfig())
+	if len(plain) != len(monitored) {
+		t.Fatalf("result counts differ: %d vs %d", len(plain), len(monitored))
+	}
+	for i := range plain {
+		a, b := plain[i], monitored[i]
+		if a.Index != b.Index || a.Start != b.Start || a.End != b.End || a.Device != b.Device {
+			t.Fatalf("result %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	if plainJob.DoneAt != monJob.DoneAt {
+		t.Errorf("makespan differs: %v vs %v", plainJob.DoneAt, monJob.DoneAt)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -32,6 +33,73 @@ func (s Scheduling) String() string {
 	return "round-robin"
 }
 
+// RecoveryConfig configures per-device health monitoring and
+// self-healing on a VPUTarget. The zero value disables both: workers
+// block indefinitely on results, the pre-fault behavior (never use it
+// with a fault plan that can hang or drop a device — a hang would
+// deadlock the simulation, which panics loudly).
+type RecoveryConfig struct {
+	// Timeout is the completion heartbeat: the longest a worker waits
+	// for a queued inference before declaring its device unhealthy. It
+	// must exceed the device's worst-case service time (including any
+	// slowdown window you inject) or healthy stragglers are treated as
+	// hangs. 0 disables health monitoring entirely.
+	Timeout time.Duration
+	// Recover re-opens an unhealthy device — reset (re-enumeration),
+	// firmware re-upload, RTOS boot, graph re-allocation: the real
+	// ~1.7 s cost — and redelivers its in-flight items. False is
+	// fail-stop: the device is abandoned, its in-flight items are
+	// dropped through OnDrop, and the surviving devices absorb the
+	// source.
+	Recover bool
+	// MaxAttempts bounds deliveries per item (first try + redeliveries);
+	// an item failing more often is dropped through OnDrop so goodput
+	// accounting stays honest. 0 means DefaultRecoveryAttempts.
+	MaxAttempts int
+	// OnRetry observes every redelivered item (wire it to
+	// Collector.NoteRetry).
+	OnRetry func(item Item, at time.Duration)
+	// OnDrop observes every item lost to device failure (wire it to
+	// Collector.NoteDrop with DropFailed).
+	OnDrop func(item Item, at time.Duration)
+	// OnOutage observes every detected outage once it resolves:
+	// recovered=true when the device rejoined, false when it was
+	// abandoned (wire it to Collector.NoteOutage).
+	OnOutage func(device string, from, to time.Duration, recovered bool)
+}
+
+// DefaultRecoveryAttempts is the redelivery budget when
+// RecoveryConfig.MaxAttempts is 0.
+const DefaultRecoveryAttempts = 3
+
+// DefaultRecoveryConfig returns the standard self-healing policy: a
+// 2 s completion heartbeat (far above the ~101 ms GoogLeNet service
+// time, below the cost of a reboot), recovery on, three delivery
+// attempts per item.
+func DefaultRecoveryConfig() RecoveryConfig {
+	return RecoveryConfig{Timeout: 2 * time.Second, Recover: true, MaxAttempts: DefaultRecoveryAttempts}
+}
+
+// enabled reports whether health monitoring is on.
+func (rc RecoveryConfig) enabled() bool { return rc.Timeout > 0 }
+
+// attempts returns the per-item delivery budget.
+func (rc RecoveryConfig) attempts() int {
+	if rc.MaxAttempts > 0 {
+		return rc.MaxAttempts
+	}
+	return DefaultRecoveryAttempts
+}
+
+// HealthAware is implemented by targets that monitor their devices'
+// health. The observer is called in virtual time on every transition
+// with the current healthy and total device counts; a Pool subscribes
+// so it can route around children with no healthy device left and
+// deal them work again when they rejoin.
+type HealthAware interface {
+	SetHealthObserver(fn func(healthy, total int, at time.Duration))
+}
+
 // VPUOptions configures the multi-VPU target.
 type VPUOptions struct {
 	// Functional enables numeric FP16 inference on the sticks.
@@ -48,6 +116,9 @@ type VPUOptions struct {
 	// LoadTensor and GetResult (thread wakeup, pixel marshalling).
 	// Calibrated to the paper's multi-VPU penalty; default 250µs.
 	HostOverhead time.Duration
+	// Recovery configures health monitoring and self-healing (zero
+	// value = disabled, the pre-fault behavior).
+	Recovery RecoveryConfig
 	// Timeline receives Fig. 4 spans when set.
 	Timeline *trace.Timeline
 }
@@ -65,11 +136,20 @@ func DefaultVPUOptions() VPUOptions {
 // VPUTarget is the parallel multi-VPU implementation of NCSw: a main
 // process connects to every NCS device, forks one worker thread per
 // device, dispatches items round-robin, and joins the workers when the
-// source drains (Fig. 4).
+// source drains (Fig. 4). With Recovery configured each worker doubles
+// as its device's health monitor: a completion timeout (or a dead
+// link) marks the device down, recovery re-opens it at the real
+// firmware-boot cost and redelivers the in-flight items, and a device
+// that cannot rejoin is abandoned while the survivors absorb the
+// source.
 type VPUTarget struct {
 	devices []*ncs.Device
 	blob    []byte
 	opts    VPUOptions
+
+	// Health state of the current run (reset by Start).
+	healthObs func(healthy, total int, at time.Duration)
+	downCount int
 }
 
 // NewVPUTarget builds the target. blob is the compiled graph file
@@ -83,6 +163,12 @@ func NewVPUTarget(devices []*ncs.Device, blob []byte, opts VPUOptions) (*VPUTarg
 	}
 	if opts.HostOverhead < 0 {
 		return nil, fmt.Errorf("core: negative host overhead")
+	}
+	if opts.Recovery.Timeout < 0 {
+		return nil, fmt.Errorf("core: negative recovery timeout %v", opts.Recovery.Timeout)
+	}
+	if opts.Recovery.MaxAttempts < 0 {
+		return nil, fmt.Errorf("core: negative recovery attempt budget %d", opts.Recovery.MaxAttempts)
 	}
 	if opts.Timeline == nil {
 		opts.Timeline = trace.Disabled()
@@ -104,9 +190,31 @@ func (t *VPUTarget) TDPWatts() float64 {
 // Devices returns the managed devices.
 func (t *VPUTarget) Devices() []*ncs.Device { return t.devices }
 
+// SetHealthObserver implements HealthAware.
+func (t *VPUTarget) SetHealthObserver(fn func(healthy, total int, at time.Duration)) {
+	t.healthObs = fn
+}
+
+// noteDown/noteUp track device health transitions and notify the
+// observer (the Pool's failover routing hangs off this).
+func (t *VPUTarget) noteDown(at time.Duration) {
+	t.downCount++
+	if t.healthObs != nil {
+		t.healthObs(len(t.devices)-t.downCount, len(t.devices), at)
+	}
+}
+
+func (t *VPUTarget) noteUp(at time.Duration) {
+	t.downCount--
+	if t.healthObs != nil {
+		t.healthObs(len(t.devices)-t.downCount, len(t.devices), at)
+	}
+}
+
 // Start implements Target.
 func (t *VPUTarget) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 	job := &Job{}
+	t.downCount = 0
 	env.Process("ncsw-main", func(p *sim.Proc) {
 		job.StartedAt = p.Now()
 		n := len(t.devices)
@@ -137,49 +245,108 @@ func (t *VPUTarget) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 		}
 		job.ReadyAt = p.Now()
 
-		// 2. Fork one worker per device, fed by per-worker queues.
+		// 2. Fork one worker per device, fed by per-worker queues. A
+		// worker that abandons its device (fail-stop) marks itself dead
+		// and drains its queue back to the dispatcher for re-dispatch.
 		forkStart := p.Now()
 		queues := make([]*sim.Queue[Item], n)
 		for i := range queues {
 			queues[i] = sim.NewQueue[Item](env, fmt.Sprintf("ncsw/q%d", i), 2)
 		}
+		dead := make([]bool, n)
+		var orphans []Item
 		done := sim.NewQueue[int](env, "ncsw/join", 0)
 		for i := range t.devices {
 			i := i
 			env.Process(fmt.Sprintf("ncsw-worker%d", i), func(wp *sim.Proc) {
-				t.worker(wp, t.devices[i], graphs[i], queues[i], sink, job)
+				t.worker(wp, t.devices[i], graphs, i, queues[i], sink, job, dead)
+				if dead[i] {
+					orphans = append(orphans, drainFeed(queues[i])...)
+				}
 				done.Put(wp, i)
 			})
 		}
 		tl.Add("main", trace.Fork, forkStart, p.Now(), fmt.Sprintf("%d workers", n))
 
 		// 3. Dispatch. Round-robin pushes item k to queue k mod n;
-		// dynamic pushes to whichever queue has room first.
+		// dynamic pushes to whichever queue has room first. Dead
+		// workers are skipped and their reclaimed items re-dispatched
+		// to survivors.
+		deliver := func(item Item, k int) bool {
+			var j int
+			var ok bool
+			if t.opts.Scheduling == Dynamic {
+				j, ok = t.dispatchDynamic(p, queues, dead, item, k)
+			} else {
+				j, ok = putRoundRobin(p, queues, dead, item, k%n)
+			}
+			if !ok {
+				// No live worker left: the in-hand item joins the
+				// orphans so the post-join accounting (Recovery.OnDrop
+				// or job.Err) sees it — the loss is never silent.
+				orphans = append(orphans, item)
+				return false
+			}
+			// The worker may have died while we were blocked on its
+			// full queue; reclaim anything stranded there.
+			if dead[j] {
+				orphans = append(orphans, drainFeed(queues[j])...)
+			}
+			return true
+		}
 		k := 0
-		for {
+		alive := true
+		for alive {
+			for alive && len(orphans) > 0 {
+				item := orphans[0]
+				orphans = orphans[1:]
+				alive = deliver(item, k)
+				k++
+			}
+			if !alive {
+				break
+			}
 			item, ok := src.Next(p)
 			if !ok {
 				break
 			}
-			switch t.opts.Scheduling {
-			case RoundRobin:
-				queues[k%n].Put(p, item)
-			case Dynamic:
-				t.dispatchDynamic(p, queues, item, k)
-			}
+			alive = deliver(item, k)
+			k++
+		}
+		for alive && len(orphans) > 0 {
+			item := orphans[0]
+			orphans = orphans[1:]
+			alive = deliver(item, k)
 			k++
 		}
 		for i := range queues {
-			queues[i].Put(p, Item{Index: -1}) // per-worker shutdown
+			if !dead[i] {
+				queues[i].Put(p, Item{Index: -1}) // per-worker shutdown
+			}
 		}
 
-		// 4. Join workers, then close devices.
+		// 4. Join workers, then close devices. Items stranded by a
+		// worker that died after dispatch ended are dropped through the
+		// recovery hook (or recorded as an error when nothing observes
+		// drops, so the loss is never silent).
 		joinStart := p.Now()
 		for range t.devices {
 			done.Get(p)
 		}
 		tl.Add("main", trace.Join, joinStart, p.Now(), "")
-		for _, d := range t.devices {
+		if len(orphans) > 0 {
+			if t.opts.Recovery.OnDrop != nil {
+				for _, it := range orphans {
+					t.opts.Recovery.OnDrop(it, p.Now())
+				}
+			} else if job.Err == nil {
+				job.Err = fmt.Errorf("core: %d item(s) stranded by failed devices", len(orphans))
+			}
+		}
+		for i, d := range t.devices {
+			if dead[i] {
+				continue // already reset at abandonment
+			}
 			if err := d.Close(p); err != nil && job.Err == nil {
 				job.Err = err
 			}
@@ -189,40 +356,115 @@ func (t *VPUTarget) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 	return job
 }
 
-// dispatchDynamic places the item on the first queue with room,
+// dispatchDynamic places the item on the first live queue with room,
 // scanning from the item's round-robin home for fairness, blocking on
-// the home queue when all are full.
-func (t *VPUTarget) dispatchDynamic(p *sim.Proc, queues []*sim.Queue[Item], item Item, k int) {
+// the home queue when all are full. It reports which queue received
+// the item (ok=false when no live worker is left).
+func (t *VPUTarget) dispatchDynamic(p *sim.Proc, queues []*sim.Queue[Item], dead []bool, item Item, k int) (int, bool) {
 	n := len(queues)
 	for off := 0; off < n; off++ {
-		if queues[(k+off)%n].TryPut(item) {
-			return
+		j := (k + off) % n
+		if dead[j] {
+			continue
+		}
+		if queues[j].TryPut(item) {
+			return j, true
 		}
 	}
-	queues[k%n].Put(p, item)
+	return putRoundRobin(p, queues, dead, item, k%n)
 }
 
-// worker drains its queue through one stick, sequential per Listing 1
-// (or two-deep pipelined with Overlap).
-func (t *VPUTarget) worker(p *sim.Proc, dev *ncs.Device, g *ncs.Graph, q *sim.Queue[Item], sink func(Result), job *Job) {
-	tl := t.opts.Timeline
-	type inflight struct {
-		item  Item
-		start time.Duration
+// putRoundRobin blocks the item onto the first live queue scanning
+// from home, reporting which queue received it (ok=false when none
+// is live).
+func putRoundRobin(p *sim.Proc, queues []*sim.Queue[Item], dead []bool, item Item, home int) (int, bool) {
+	n := len(queues)
+	for off := 0; off < n; off++ {
+		j := (home + off) % n
+		if dead[j] {
+			continue
+		}
+		queues[j].Put(p, item)
+		return j, true
 	}
-	var pending []inflight
+	return 0, false
+}
 
-	emit := func(fl inflight) bool {
+// inflight is one dispatched-but-unfinished item on a worker.
+type inflight struct {
+	item     Item
+	start    time.Duration
+	attempts int // deliveries so far (>= 1 once loaded)
+}
+
+// emit outcomes.
+const (
+	emitOK     = iota // result delivered to the sink
+	emitRetry         // transient failure: item requeued or dropped, device fine
+	emitFailed        // device failure: timeout or dead link
+	emitFatal         // unrecoverable host error (legacy path), job.Err set
+)
+
+// worker drains its queue through one stick, sequential per Listing 1
+// (or two-deep pipelined with Overlap). With Recovery configured it is
+// also the device's health monitor: results are awaited under the
+// completion timeout, device failures trigger reset + re-open +
+// re-allocation (or fail-stop abandonment), and in-flight items are
+// redelivered within the attempt budget.
+func (t *VPUTarget) worker(p *sim.Proc, dev *ncs.Device, graphs []*ncs.Graph, wi int, q *sim.Queue[Item], sink func(Result), job *Job, dead []bool) {
+	tl := t.opts.Timeline
+	rc := t.opts.Recovery
+	g := graphs[wi]
+	var pending []inflight // loaded, awaiting results (in load order)
+	var retry []inflight   // awaiting redelivery after a failure
+
+	// dropItem accounts one item lost to device failure. Without an
+	// OnDrop observer the loss surfaces on the job error instead —
+	// like the stranded-orphans path, it is never silent.
+	dropItem := func(item Item) {
+		if rc.OnDrop != nil {
+			rc.OnDrop(item, p.Now())
+		} else if job.Err == nil {
+			job.Err = fmt.Errorf("core: item %d lost to device failure on %s (no Recovery.OnDrop observer)",
+				item.Index, dev.Name())
+		}
+	}
+
+	// emit retrieves and publishes the result of the oldest in-flight
+	// item, classifying failures.
+	emit := func(fl inflight) int {
 		readStart := p.Now()
-		res, err := g.GetResult(p)
+		var res ncs.Result
+		var err error
+		if rc.enabled() {
+			res, err = g.GetResultWithin(p, rc.Timeout)
+		} else {
+			res, err = g.GetResult(p)
+		}
 		if err != nil {
+			if rc.enabled() {
+				return emitFailed
+			}
 			if job.Err == nil {
 				job.Err = err
 			}
-			return false
+			return emitFatal
 		}
 		p.Sleep(t.opts.HostOverhead)
 		tl.Add(dev.Name(), trace.Read, readStart, p.Now(), "")
+		if rc.enabled() && errors.Is(res.Err, ncs.ErrTransient) {
+			// Recoverable single-inference failure: redeliver within the
+			// budget instead of surfacing a broken result.
+			if fl.attempts < rc.attempts() {
+				retry = append(retry, fl)
+				if rc.OnRetry != nil {
+					rc.OnRetry(fl.item, p.Now())
+				}
+			} else {
+				dropItem(fl.item)
+			}
+			return emitRetry
+		}
 		r := Result{
 			Index:        fl.item.Index,
 			Label:        fl.item.Label,
@@ -240,43 +482,138 @@ func (t *VPUTarget) worker(p *sim.Proc, dev *ncs.Device, g *ncs.Graph, q *sim.Qu
 		}
 		sink(r)
 		job.Images++
-		return true
+		return emitOK
+	}
+
+	// fail handles a device failure: requeue or drop the in-flight
+	// items, then either heal the device (reset, firmware re-upload,
+	// RTOS boot, graph re-allocation — the real outage cost) or abandon
+	// it. It reports whether the worker should keep running.
+	fail := func(reason string) bool {
+		from := p.Now()
+		t.noteDown(from)
+		victims := pending
+		pending = nil
+		for _, v := range victims {
+			if rc.Recover && v.attempts < rc.attempts() {
+				retry = append(retry, v)
+				if rc.OnRetry != nil {
+					rc.OnRetry(v.item, p.Now())
+				}
+			} else {
+				dropItem(v.item)
+			}
+		}
+		if rc.Recover {
+			dev.Reset()
+			err := dev.Open(p)
+			if err == nil {
+				var g2 *ncs.Graph
+				g2, err = dev.AllocateGraph(p, t.blob, ncs.GraphOptions{Functional: t.opts.Functional})
+				if err == nil {
+					g = g2
+					graphs[wi] = g2
+					t.noteUp(p.Now())
+					tl.Add(dev.Name(), trace.Down, from, p.Now(), reason)
+					if rc.OnOutage != nil {
+						rc.OnOutage(dev.Name(), from, p.Now(), true)
+					}
+					return true
+				}
+			}
+			reason = fmt.Sprintf("%s; re-open failed: %v", reason, err)
+		}
+		// Fail-stop: nothing left to retry on — drop the redelivery
+		// queue too, kill the device model so its runtime cannot
+		// deadlock the simulation, and exit; the dispatcher reclaims
+		// whatever is still queued for this worker.
+		for _, v := range retry {
+			dropItem(v.item)
+		}
+		retry = nil
+		dev.Reset()
+		dead[wi] = true
+		tl.Add(dev.Name(), trace.Down, from, p.Now(), reason+" (abandoned)")
+		if rc.OnOutage != nil {
+			rc.OnOutage(dev.Name(), from, p.Now(), false)
+		}
+		if job.Err == nil {
+			job.Err = fmt.Errorf("core: device %s abandoned: %s", dev.Name(), reason)
+		}
+		return false
 	}
 
 	depth := 1
 	if t.opts.Overlap {
 		depth = 2
 	}
+	feedDone := false
 	for {
-		item := q.Get(p)
-		if item.Index == -1 {
-			break
+		// Pick the next delivery: redeliveries first, then the feed;
+		// once the feed closes, drain what is still in flight.
+		var fl inflight
+		switch {
+		case len(retry) > 0:
+			fl = retry[0]
+			retry = retry[1:]
+		case !feedDone:
+			item := q.Get(p)
+			if item.Index == -1 {
+				feedDone = true
+				continue
+			}
+			fl = inflight{item: item}
+		case len(pending) > 0:
+			switch emit(pending[0]) {
+			case emitOK, emitRetry:
+				pending = pending[1:]
+			case emitFailed:
+				if !fail("completion timeout or dead link") {
+					return
+				}
+			case emitFatal:
+				return
+			}
+			continue
+		default:
+			return
 		}
-		start := p.Now()
+
+		fl.attempts++
+		fl.start = p.Now()
 		p.Sleep(t.opts.HostOverhead)
 		var img *tensor.T
 		if t.opts.Functional {
-			img = item.Image
+			img = fl.item.Image
 		}
 		loadStart := p.Now()
-		if err := g.LoadTensor(p, img, item.Index); err != nil {
+		if err := g.LoadTensor(p, img, fl.item.Index); err != nil {
+			if rc.enabled() {
+				pending = append(pending, fl)
+				if !fail(fmt.Sprintf("load failed: %v", err)) {
+					return
+				}
+				continue
+			}
 			if job.Err == nil {
 				job.Err = err
 			}
-			break
+			feedDone = true // legacy: stop loading, drain what is pending
+			continue
 		}
-		tl.Add(dev.Name(), trace.Load, loadStart, p.Now(), fmt.Sprintf("img%d", item.Index))
-		pending = append(pending, inflight{item: item, start: start})
+		tl.Add(dev.Name(), trace.Load, loadStart, p.Now(), fmt.Sprintf("img%d", fl.item.Index))
+		pending = append(pending, fl)
 		if len(pending) >= depth {
-			if !emit(pending[0]) {
+			switch emit(pending[0]) {
+			case emitOK, emitRetry:
+				pending = pending[1:]
+			case emitFailed:
+				if !fail("completion timeout or dead link") {
+					return
+				}
+			case emitFatal:
 				return
 			}
-			pending = pending[1:]
-		}
-	}
-	for _, fl := range pending {
-		if !emit(fl) {
-			return
 		}
 	}
 }

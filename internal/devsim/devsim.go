@@ -155,7 +155,20 @@ type CPU struct {
 	batches int64
 	images  int64
 	busy    time.Duration
+	slow    float64 // fault-injected straggler factor (<=1 = none)
 }
+
+// InjectSlowdown stretches every subsequent batch ×factor — the
+// straggler fault hook internal/fault drives (a co-scheduled job, a
+// thermal event). ClearSlowdown ends the window.
+func (c *CPU) InjectSlowdown(factor float64) {
+	if factor > 1 {
+		c.slow = factor
+	}
+}
+
+// ClearSlowdown ends a straggler window.
+func (c *CPU) ClearSlowdown() { c.slow = 0 }
 
 // NewCPU builds a CPU engine for the workload.
 func NewCPU(cfg CPUConfig, w Workload, seed *rng.Source) (*CPU, error) {
@@ -181,9 +194,13 @@ func (c *CPU) BaseBatchDuration(b int) time.Duration {
 	return c.cfg.BatchOverhead + time.Duration(exec*float64(time.Second))
 }
 
-// NextBatchDuration prices the next batch with jitter applied.
+// NextBatchDuration prices the next batch with jitter (and any
+// fault-injected straggler window) applied.
 func (c *CPU) NextBatchDuration(b int) time.Duration {
 	d := time.Duration(float64(c.BaseBatchDuration(b)) * c.jitter.Jitter(c.cfg.JitterSigma))
+	if c.slow > 1 {
+		d = time.Duration(float64(d) * c.slow)
+	}
 	c.batches++
 	c.images += int64(b)
 	c.busy += d
@@ -205,7 +222,19 @@ type GPU struct {
 	batches int64
 	images  int64
 	busy    time.Duration
+	slow    float64 // fault-injected straggler factor (<=1 = none)
 }
+
+// InjectSlowdown stretches every subsequent batch ×factor (straggler
+// fault hook); ClearSlowdown ends the window.
+func (g *GPU) InjectSlowdown(factor float64) {
+	if factor > 1 {
+		g.slow = factor
+	}
+}
+
+// ClearSlowdown ends a straggler window.
+func (g *GPU) ClearSlowdown() { g.slow = 0 }
 
 // NewGPU builds a GPU engine for the workload.
 func NewGPU(cfg GPUConfig, w Workload, seed *rng.Source) (*GPU, error) {
@@ -238,9 +267,13 @@ func (g *GPU) BaseBatchDuration(b int) time.Duration {
 	return time.Duration((copySec + execSec) * float64(time.Second))
 }
 
-// NextBatchDuration prices the next batch with jitter applied.
+// NextBatchDuration prices the next batch with jitter (and any
+// fault-injected straggler window) applied.
 func (g *GPU) NextBatchDuration(b int) time.Duration {
 	d := time.Duration(float64(g.BaseBatchDuration(b)) * g.jitter.Jitter(g.cfg.JitterSigma))
+	if g.slow > 1 {
+		d = time.Duration(float64(d) * g.slow)
+	}
 	g.batches++
 	g.images += int64(b)
 	g.busy += d

@@ -226,3 +226,32 @@ func TestSingleInputLatenciesNearEqual(t *testing.T) {
 			c*1e3, g*1e3)
 	}
 }
+
+// TestInjectSlowdownStretchesBatches: the straggler hook stretches
+// subsequent batches on both engines; clearing restores the baseline
+// (modulo jitter, which the shared seed makes comparable).
+func TestInjectSlowdownStretchesBatches(t *testing.T) {
+	w := Workload{MACs: 1e9, InputBytes: 1 << 20}
+	cpu, err := NewCPU(DefaultCPUConfig(), w, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := NewGPU(DefaultGPUConfig(), w, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, base time.Duration, next func(int) time.Duration, inject func(float64), clear func()) {
+		inject(4)
+		slowed := next(8)
+		if slowed < base*3 {
+			t.Errorf("%s: slowed batch %v not ~4x the %v base", name, slowed, base)
+		}
+		clear()
+		restored := next(8)
+		if restored > base*3/2 {
+			t.Errorf("%s: batch after clear %v, want near base %v", name, restored, base)
+		}
+	}
+	check("cpu", cpu.BaseBatchDuration(8), cpu.NextBatchDuration, cpu.InjectSlowdown, cpu.ClearSlowdown)
+	check("gpu", gpu.BaseBatchDuration(8), gpu.NextBatchDuration, gpu.InjectSlowdown, gpu.ClearSlowdown)
+}

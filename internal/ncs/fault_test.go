@@ -1,0 +1,179 @@
+package ncs
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// TestInjectHangAndTimeout: a hung device accepts work but never
+// completes it; GetResultWithin reports the timeout instead of
+// deadlocking, and a Reset + re-open cycle brings the device back.
+func TestInjectHangAndTimeout(t *testing.T) {
+	r := newRig(t, 1, nn.NewGoogLeNet(rng.New(1)))
+	d := r.devices[0]
+	r.env.Process("host", func(p *sim.Proc) {
+		if err := d.Open(p); err != nil {
+			t.Fatal(err)
+		}
+		g, err := d.AllocateGraph(p, r.blob, GraphOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.InjectHang()
+		if err := g.LoadTensor(p, nil, 0); err != nil {
+			t.Fatal(err)
+		}
+		t0 := p.Now()
+		if _, err := g.GetResultWithin(p, 500*time.Millisecond); err != ErrResultTimeout {
+			t.Fatalf("GetResultWithin on hung device: %v", err)
+		}
+		if wait := p.Now() - t0; wait != 500*time.Millisecond {
+			t.Errorf("timeout waited %v, want exactly 500ms", wait)
+		}
+		// Host-side recovery: reset, re-open, re-allocate, and the
+		// device serves again.
+		d.Reset()
+		if err := d.Open(p); err != nil {
+			t.Fatalf("re-Open after reset: %v", err)
+		}
+		g2, err := d.AllocateGraph(p, r.blob, GraphOptions{})
+		if err != nil {
+			t.Fatalf("re-AllocateGraph after reset: %v", err)
+		}
+		if err := g2.LoadTensor(p, nil, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g2.GetResultWithin(p, 2*time.Second); err != nil {
+			t.Fatalf("inference after recovery: %v", err)
+		}
+		if err := d.Close(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	r.env.Run()
+}
+
+// TestInjectLinkDropWakesBlockedGetResult: a link drop mid-inference
+// must wake a host blocked in GetResult with ErrClosed (MVNC_GONE)
+// rather than hanging it, and subsequent calls must fail too.
+func TestInjectLinkDropWakesBlockedGetResult(t *testing.T) {
+	r := newRig(t, 1, nn.NewGoogLeNet(rng.New(1)))
+	d := r.devices[0]
+	r.env.Process("host", func(p *sim.Proc) {
+		if err := d.Open(p); err != nil {
+			t.Fatal(err)
+		}
+		g, err := d.AllocateGraph(p, r.blob, GraphOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.LoadTensor(p, nil, 0); err != nil {
+			t.Fatal(err)
+		}
+		// Drop the link while the inference is in flight (~100 ms).
+		r.env.After(10*time.Millisecond, d.InjectLinkDrop)
+		if _, err := g.GetResult(p); err != ErrClosed {
+			t.Fatalf("GetResult across a link drop: %v", err)
+		}
+		if err := g.LoadTensor(p, nil, 1); err != ErrClosed {
+			t.Errorf("LoadTensor after link drop: %v", err)
+		}
+		// Re-enumeration brings the device back.
+		d.Reset()
+		if err := d.Open(p); err != nil {
+			t.Fatalf("Open after reset: %v", err)
+		}
+		if _, err := d.AllocateGraph(p, r.blob, GraphOptions{}); err != nil {
+			t.Fatalf("AllocateGraph after reset: %v", err)
+		}
+		if err := d.Close(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	r.env.Run()
+}
+
+// TestInjectTransientErrors: the next n inferences complete with
+// ErrTransient, then the device is healthy again.
+func TestInjectTransientErrors(t *testing.T) {
+	r := newRig(t, 1, nn.NewGoogLeNet(rng.New(1)))
+	d := r.devices[0]
+	r.env.Process("host", func(p *sim.Proc) {
+		if err := d.Open(p); err != nil {
+			t.Fatal(err)
+		}
+		g, err := d.AllocateGraph(p, r.blob, GraphOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.InjectTransientErrors(2)
+		for i := 0; i < 3; i++ {
+			if err := g.LoadTensor(p, nil, i); err != nil {
+				t.Fatal(err)
+			}
+			res, err := g.GetResult(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i < 2 && res.Err != ErrTransient {
+				t.Errorf("inference %d: err = %v, want ErrTransient", i, res.Err)
+			}
+			if i == 2 && res.Err != nil {
+				t.Errorf("inference 2 after the burst: err = %v", res.Err)
+			}
+		}
+		if err := d.Close(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	r.env.Run()
+}
+
+// TestInjectSlowdownStretchesService: a ×4 straggler window must make
+// the round trip measurably slower, and clearing it must restore the
+// baseline.
+func TestInjectSlowdownStretchesService(t *testing.T) {
+	r := newRig(t, 1, nn.NewGoogLeNet(rng.New(1)))
+	d := r.devices[0]
+	var normal, slowed time.Duration
+	r.env.Process("host", func(p *sim.Proc) {
+		if err := d.Open(p); err != nil {
+			t.Fatal(err)
+		}
+		g, err := d.AllocateGraph(p, r.blob, GraphOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		round := func() time.Duration {
+			t0 := p.Now()
+			if err := g.LoadTensor(p, nil, nil); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := g.GetResult(p); err != nil {
+				t.Fatal(err)
+			}
+			return p.Now() - t0
+		}
+		normal = round()
+		d.InjectSlowdown(4)
+		slowed = round()
+		d.ClearSlowdown()
+		restored := round()
+		if restored > normal*13/10 {
+			t.Errorf("round trip after ClearSlowdown %v; baseline %v", restored, normal)
+		}
+		if err := d.Close(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	r.env.Run()
+	// Execution dominates the ~101 ms round trip, so ×4 on the SHAVE
+	// clock should land well past 3× overall.
+	if slowed < normal*3 {
+		t.Errorf("slowed round trip %v not ~4x the %v baseline", slowed, normal)
+	}
+}

@@ -39,11 +39,20 @@ var (
 	ErrGraphAllocated = errors.New("ncs: a graph is already allocated (MVNC_BUSY)")
 	// ErrNoGraph is returned by inference calls before AllocateGraph.
 	ErrNoGraph = errors.New("ncs: no graph allocated (MVNC_UNSUPPORTED_GRAPH_FILE)")
-	// ErrClosed is returned for operations after Close.
+	// ErrClosed is returned for operations after Close or after the
+	// device's USB link dropped.
 	ErrClosed = errors.New("ncs: device closed (MVNC_GONE)")
 	// ErrMissingInput is returned when a functional graph is fed a nil
 	// tensor.
 	ErrMissingInput = errors.New("ncs: functional graph requires an input tensor")
+	// ErrResultTimeout is returned by GetResultWithin when no result
+	// lands inside the completion timeout — the health-monitoring
+	// signal that a device has hung.
+	ErrResultTimeout = errors.New("ncs: no result within the completion timeout (MVNC_TIMEOUT)")
+	// ErrTransient marks an inference the device runtime failed (a
+	// recoverable Myriad error, typically fault-injected); the item is
+	// safe to redeliver.
+	ErrTransient = errors.New("ncs: inference failed on device (MVNC_MYRIAD_ERROR)")
 )
 
 // Config models the stick around the VPU.
@@ -137,6 +146,85 @@ type Device struct {
 	// onExec observes each on-device execution span (for Fig. 4
 	// timelines); nil disables.
 	onExec func(device string, start, end time.Duration)
+
+	// Fault-injection state (driven by internal/fault hooks).
+	hung      bool    // firmware frozen: inferences never complete
+	slow      float64 // service-time multiplier (straggler window); <=1 = none
+	transient int     // inferences left to fail with ErrTransient
+}
+
+// InjectHang freezes the device firmware: queued inferences are still
+// accepted (until the FIFO fills) but never complete, exactly like a
+// wedged RTOS. Only a host-side Reset (or InjectLinkDrop) ends the
+// hang. Safe to call from scheduler callbacks.
+func (d *Device) InjectHang() { d.hung = true }
+
+// InjectLinkDrop severs the USB link: the device is gone (MVNC_GONE),
+// the current graph dies with its in-flight work, and every call fails
+// with ErrClosed until the host calls Reset and re-opens the device.
+func (d *Device) InjectLinkDrop() {
+	if d.state == stateGone {
+		return
+	}
+	d.state = stateGone
+	d.meter.SetPower(d.env.Now(), 0) // unplugged
+	d.killGraph()
+}
+
+// InjectTransientErrors makes the next n inferences complete with
+// ErrTransient instead of a result — the recoverable single-inference
+// failure mode.
+func (d *Device) InjectTransientErrors(n int) {
+	if n > 0 {
+		d.transient += n
+	}
+}
+
+// InjectSlowdown stretches every subsequent inference ×factor — the
+// straggler fault. ClearSlowdown ends the window.
+func (d *Device) InjectSlowdown(factor float64) {
+	if factor > 1 {
+		d.slow = factor
+	}
+}
+
+// ClearSlowdown ends a straggler window.
+func (d *Device) ClearSlowdown() { d.slow = 0 }
+
+// Reset force-returns the device to the closed state from wherever it
+// is — the host-side power-cycle/re-enumeration step of recovery. The
+// current graph (if any) dies immediately, in-flight inferences are
+// lost, and a frozen firmware is cleared; the caller then pays the
+// full Open + AllocateGraph cost to bring the device back. Safe to
+// call from scheduler callbacks (it never blocks).
+func (d *Device) Reset() {
+	d.killGraph()
+	if d.state != stateClosed {
+		d.meter.SetPower(d.env.Now(), 0) // power-cycled
+	}
+	d.state = stateClosed
+	d.hung = false
+	d.transient = 0
+}
+
+// killGraph detaches and poisons the current graph: its runtime exits
+// at the next checkpoint, blocked producers and consumers are woken,
+// and pending results are lost.
+func (d *Device) killGraph() {
+	g := d.graph
+	d.graph = nil
+	if g == nil || g.dead {
+		return
+	}
+	g.dead = true
+	// Wake the runtime wherever it is parked: a hung runtime waits on
+	// hangWait; an idle one blocks on the FIFO (TryPut only fails when
+	// the FIFO is full, in which case the runtime is mid-inference and
+	// sees dead at its next checkpoint). A host blocked in GetResult is
+	// woken with a poison result and re-checks dead.
+	g.hangWait.TryPut(struct{}{})
+	g.fifo.TryPut(job{shutdown: true})
+	g.results.TryPut(Result{})
 }
 
 // SetExecObserver registers a callback invoked with the virtual-time
@@ -185,6 +273,11 @@ func (d *Device) Open(p *sim.Proc) error {
 	d.meter.SetPower(p.Now(), d.cfg.BootWatts)
 	d.port.Transfer(p, d.cfg.FirmwareBytes)
 	p.Sleep(d.cfg.BootTime)
+	if d.state == stateGone {
+		// The link dropped mid-boot; the fault must not be papered
+		// over by the epilogue.
+		return ErrClosed
+	}
 	d.meter.SetPower(p.Now(), d.cfg.IdleWatts)
 	d.state = stateOpen
 	return nil
@@ -216,6 +309,10 @@ func (d *Device) AllocateGraph(p *sim.Proc, blob []byte, opts GraphOptions) (*Gr
 
 	d.port.Transfer(p, len(blob))
 	p.Sleep(time.Duration(float64(len(blob)) / d.cfg.AllocParseBandwidth * float64(time.Second)))
+	if d.state != stateOpen {
+		// The link dropped while the blob was in flight.
+		return nil, ErrClosed
+	}
 	net, info, err := graphfile.Parse(blob)
 	if err != nil {
 		return nil, fmt.Errorf("ncs: device %s rejected graph: %w", d.name, err)
@@ -239,8 +336,9 @@ func (d *Device) AllocateGraph(p *sim.Proc, blob []byte, opts GraphOptions) (*Gr
 			out := net.OutputShape().Elems()
 			return out*2 + d.cfg.ResultHeaderBytes
 		}(),
-		fifo:    sim.NewQueue[job](d.env, d.name+"/fifo", d.cfg.FIFODepth),
-		results: sim.NewQueue[Result](d.env, d.name+"/results", 0),
+		fifo:     sim.NewQueue[job](d.env, d.name+"/fifo", d.cfg.FIFODepth),
+		results:  sim.NewQueue[Result](d.env, d.name+"/results", 0),
+		hangWait: sim.NewQueue[struct{}](d.env, d.name+"/hang", 0),
 	}
 	d.graph = g
 	d.env.Process(d.name+"/runtime", g.runtime)
@@ -248,8 +346,11 @@ func (d *Device) AllocateGraph(p *sim.Proc, blob []byte, opts GraphOptions) (*Gr
 }
 
 // Close drains the device and shuts the runtime down
-// (mvncCloseDevice). Safe to call once; pending queued inferences are
-// still executed and their results remain retrievable.
+// (mvncCloseDevice). Pending queued inferences are still executed and
+// their results remain retrievable through the (now detached) Graph
+// handle. The device returns to the closed state: a Close → Open →
+// AllocateGraph cycle starts from a clean slate — the recovery path
+// re-allocates without tripping ErrGraphAllocated.
 func (d *Device) Close(p *sim.Proc) error {
 	switch d.state {
 	case stateClosed:
@@ -259,8 +360,9 @@ func (d *Device) Close(p *sim.Proc) error {
 	}
 	if d.graph != nil {
 		d.graph.fifo.Put(p, job{shutdown: true})
+		d.graph = nil
 	}
-	d.state = stateGone
+	d.state = stateClosed
 	return nil
 }
 
@@ -294,6 +396,13 @@ type Graph struct {
 	fifo    *sim.Queue[job]
 	results *sim.Queue[Result]
 	nextID  int64
+	// dead marks a killed graph (link drop, device reset): the runtime
+	// exits at its next checkpoint and every host call fails with
+	// ErrClosed.
+	dead bool
+	// hangWait parks the runtime while the firmware is frozen; a kill
+	// wakes it so the runtime can exit.
+	hangWait *sim.Queue[struct{}]
 }
 
 // Info returns the parsed blob header.
@@ -315,39 +424,82 @@ func (g *Graph) InputBytes() int { return g.inputBytes }
 // still moves the full tensor size). userParam is returned with the
 // matching Result.
 func (g *Graph) LoadTensor(p *sim.Proc, img *tensor.T, userParam any) error {
-	if g.dev.state != stateOpen {
+	if g.dead || g.dev.graph != g || g.dev.state != stateOpen {
 		return ErrClosed
 	}
 	if g.functional && img == nil {
 		return ErrMissingInput
 	}
 	g.dev.port.Transfer(p, g.inputBytes)
+	if g.dead {
+		// The link dropped mid-transfer.
+		return ErrClosed
+	}
 	g.nextID++
 	g.fifo.Put(p, job{id: g.nextID, input: img, userParam: userParam})
+	if g.dead {
+		return ErrClosed
+	}
 	return nil
 }
 
 // GetResult blocks until the oldest queued inference finishes, then
 // transfers its result back (mvncGetResult). Results arrive strictly
-// in LoadTensor order.
+// in LoadTensor order. A graph killed mid-wait (link drop, device
+// reset) fails with ErrClosed — its pending results are lost with the
+// device.
 func (g *Graph) GetResult(p *sim.Proc) (Result, error) {
-	if g.dev.state == stateClosed {
-		return Result{}, ErrDeviceNotOpen
+	if g.dead {
+		return Result{}, ErrClosed
 	}
 	res := g.results.Get(p)
+	if g.dead {
+		return Result{}, ErrClosed
+	}
+	g.dev.port.Transfer(p, g.resultBytes)
+	return res, nil
+}
+
+// GetResultWithin is GetResult with a completion timeout: it waits at
+// most d of virtual time before giving up with ErrResultTimeout. This
+// is the health-monitoring primitive of the self-healing pipeline — a
+// hung device never completes, so a bounded wait is the only
+// deadlock-free way to notice.
+func (g *Graph) GetResultWithin(p *sim.Proc, d time.Duration) (Result, error) {
+	if g.dead {
+		return Result{}, ErrClosed
+	}
+	res, ok := g.results.GetWithin(p, d)
+	if g.dead {
+		return Result{}, ErrClosed
+	}
+	if !ok {
+		return Result{}, ErrResultTimeout
+	}
 	g.dev.port.Transfer(p, g.resultBytes)
 	return res, nil
 }
 
 // runtime is the RISC scheduler loop: dequeue, launch on the SHAVE
-// array, publish the result.
+// array, publish the result. Fault checkpoints: a killed graph (link
+// drop, reset) exits at the next wake-up, discarding its work; a
+// frozen firmware parks at the publish point until the host resets the
+// device.
 func (g *Graph) runtime(p *sim.Proc) {
 	for {
 		j := g.fifo.Get(p)
+		if g.dead {
+			g.drainFIFO()
+			return
+		}
 		if j.shutdown {
 			return
 		}
 		p.Sleep(g.dev.cfg.CommandOverhead)
+		if g.dead {
+			g.drainFIFO()
+			return
+		}
 		g.dev.meter.SetPower(p.Now(), g.dev.cfg.ActiveWatts)
 		g.dev.thermal.advance(p.Now(), g.dev.cfg.ActiveWatts)
 		execStart := p.Now()
@@ -358,7 +510,15 @@ func (g *Graph) runtime(p *sim.Proc) {
 			d = time.Duration(float64(d) / factor)
 			g.dev.thermal.stats.ThrottledInferences++
 		}
+		// Straggler fault: a slowdown window stretches the service time.
+		if g.dev.slow > 1 {
+			d = time.Duration(float64(d) * g.dev.slow)
+		}
 		p.Sleep(d)
+		if g.dead {
+			g.drainFIFO()
+			return
+		}
 		g.dev.meter.SetPower(p.Now(), g.dev.cfg.IdleWatts)
 		g.dev.thermal.advance(p.Now(), g.dev.cfg.IdleWatts)
 		if g.dev.onExec != nil {
@@ -366,10 +526,33 @@ func (g *Graph) runtime(p *sim.Proc) {
 		}
 
 		res := Result{ID: j.id, UserParam: j.userParam, ExecTime: d}
-		if g.functional && j.input != nil {
+		if g.dev.transient > 0 {
+			// Fault injection: this inference fails recoverably.
+			g.dev.transient--
+			res.Err = ErrTransient
+		} else if g.functional && j.input != nil {
 			out, err := g.engine.Infer(j.input)
 			res.Output, res.Err = out, err
 		}
+		// Firmware hang: stop publishing until the host resets the
+		// device (which kills this graph and wakes us to exit).
+		for g.dev.hung && !g.dead {
+			g.hangWait.Get(p)
+		}
+		if g.dead {
+			g.drainFIFO()
+			return
+		}
 		g.results.Put(p, res)
+	}
+}
+
+// drainFIFO empties a dead graph's FIFO so a host blocked in
+// LoadTensor is woken (its load then fails with ErrClosed).
+func (g *Graph) drainFIFO() {
+	for {
+		if _, ok := g.fifo.TryGet(); !ok {
+			return
+		}
 	}
 }

@@ -68,8 +68,70 @@ func TestOpenAllocateCloseLifecycle(t *testing.T) {
 		if err := d.Close(p); err != nil {
 			t.Errorf("Close: %v", err)
 		}
-		if err := d.Close(p); err != ErrClosed {
+		// Close returns the device to the closed state (so recovery can
+		// re-open it); a second Close is "not open", like before Open.
+		if err := d.Close(p); err != ErrDeviceNotOpen {
 			t.Errorf("second Close: %v", err)
+		}
+	})
+	r.env.Run()
+}
+
+// TestCloseReopenReallocate is the recovery-path regression test: a
+// Close → Open → AllocateGraph cycle must start from a clean slate —
+// the detached first graph must not trip ErrGraphAllocated — and the
+// re-allocated graph must serve inferences normally.
+func TestCloseReopenReallocate(t *testing.T) {
+	r := newRig(t, 1, nn.NewMicroGoogLeNet(nn.DefaultMicroConfig(), rng.New(1)))
+	d := r.devices[0]
+	r.env.Process("host", func(p *sim.Proc) {
+		if err := d.Open(p); err != nil {
+			t.Fatal(err)
+		}
+		g1, err := d.AllocateGraph(p, r.blob, GraphOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Queue one inference, close while it drains, and check the
+		// pending result remains retrievable through the detached handle.
+		if err := g1.LoadTensor(p, nil, "before-close"); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Close(p); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		res, err := g1.GetResult(p)
+		if err != nil {
+			t.Fatalf("GetResult after Close: %v", err)
+		}
+		if res.UserParam.(string) != "before-close" {
+			t.Errorf("pending result lost across Close: %v", res.UserParam)
+		}
+		// The detached graph must refuse new work...
+		if err := g1.LoadTensor(p, nil, nil); err != ErrClosed {
+			t.Errorf("LoadTensor on detached graph: %v", err)
+		}
+		// ...and the reopened device must re-allocate without tripping
+		// ErrGraphAllocated.
+		if err := d.Open(p); err != nil {
+			t.Fatalf("re-Open: %v", err)
+		}
+		g2, err := d.AllocateGraph(p, r.blob, GraphOptions{})
+		if err != nil {
+			t.Fatalf("re-AllocateGraph: %v", err)
+		}
+		if err := g2.LoadTensor(p, nil, "after-reopen"); err != nil {
+			t.Fatal(err)
+		}
+		res, err = g2.GetResult(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.UserParam.(string) != "after-reopen" {
+			t.Errorf("re-allocated graph result: %v", res.UserParam)
+		}
+		if err := d.Close(p); err != nil {
+			t.Fatal(err)
 		}
 	})
 	r.env.Run()

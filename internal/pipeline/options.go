@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/imagenet"
 	"repro/internal/nn"
 	"repro/internal/trace"
@@ -130,6 +131,29 @@ func WithAdmission(depth int, policy core.OverloadPolicy) Option {
 // keeps full-batch throughput.
 func WithAdaptiveBatching(maxWait time.Duration) Option {
 	return func(c *Config) { c.BatchMaxWait = maxWait; c.AdaptiveBatch = true }
+}
+
+// WithFaults injects the deterministic fault plan into the session's
+// devices as the run unfolds: stick hangs, USB link drops, transient
+// inference errors and straggler slowdowns, scripted or seeded
+// (internal/fault). Device names are "ncs0".."ncsN" for the sticks in
+// testbed port order and "cpu"/"gpu" for the batch groups. When the
+// plan can kill inferences (hang/drop/transient) and no recovery is
+// configured, the session defaults to core.DefaultRecoveryConfig() so
+// a hang cannot deadlock the run; the report gains availability
+// metrics (outages, MTTR, retries, fault-attributed drops, uptime).
+func WithFaults(plan fault.Plan) Option {
+	return func(c *Config) { c.Faults = plan }
+}
+
+// WithRecovery sets the health-monitoring and self-healing policy of
+// every VPU group: Timeout is the completion heartbeat that detects a
+// hung or vanished device, Recover re-opens it at the real
+// firmware-boot cost (false = fail-stop: the device is abandoned and
+// survivors absorb the load), and MaxAttempts bounds redeliveries per
+// item — exhausted items are dropped and counted against goodput.
+func WithRecovery(rc core.RecoveryConfig) Option {
+	return func(c *Config) { c.Recovery = rc }
 }
 
 // WithStream replaces the dataset source with a push-style stream of

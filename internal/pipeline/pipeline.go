@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/devsim"
+	"repro/internal/fault"
 	"repro/internal/graphfile"
 	"repro/internal/imagenet"
 	"repro/internal/ncs"
@@ -175,6 +176,19 @@ type Config struct {
 	// observed backlog (between 1 and the group's batch size) instead
 	// of always assembling full batches.
 	AdaptiveBatch bool
+	// Faults is the deterministic fault-injection plan driven into the
+	// session's devices as the run unfolds (internal/fault). Device
+	// names: NCS sticks are "ncs0".."ncsN" in testbed port order;
+	// batch groups are "cpu"/"gpu" (numbered "cpu2", "cpu3", … when a
+	// kind repeats). The zero value injects nothing.
+	Faults fault.Plan
+	// Recovery configures health monitoring and self-healing on every
+	// VPU group (core.RecoveryConfig; the session wires the hooks into
+	// its collectors). Zero value: disabled — unless Faults contains
+	// hang/drop/transient faults, in which case the session defaults
+	// to core.DefaultRecoveryConfig() so an injected hang cannot
+	// deadlock the simulation.
+	Recovery core.RecoveryConfig
 	// Groups are the device groups (at least one).
 	Groups []Group
 }
@@ -201,7 +215,13 @@ type Session struct {
 	stream    *core.StreamSource
 	source    core.Source
 	admission *core.AdmissionQueue
-	ran       bool
+	registry  fault.Registry // device name -> injection hooks
+	faultLog  *fault.Log
+	// merged/perGroup are set by Run before the simulation starts, so
+	// the recovery hooks installed at build time can reach them.
+	merged   *core.Collector
+	perGroup []*core.Collector
+	ran      bool
 }
 
 // New builds a session from options.
@@ -270,6 +290,19 @@ func applyDefaults(cfg *Config) {
 			cfg.Network = NetGoogLeNet
 		}
 	}
+	// A plan that can hang or kill a device needs health monitoring on
+	// the serving side, or the simulation would deadlock on the first
+	// hang; default the policy fields on rather than hand users a
+	// footgun. An explicit WithRecovery timeout wins, and user hooks
+	// (OnRetry/OnDrop/OnOutage) are preserved either way.
+	if cfg.Faults.NeedsRecovery() && cfg.Recovery.Timeout == 0 {
+		def := core.DefaultRecoveryConfig()
+		cfg.Recovery.Timeout = def.Timeout
+		cfg.Recovery.Recover = def.Recover
+		if cfg.Recovery.MaxAttempts == 0 {
+			cfg.Recovery.MaxAttempts = def.MaxAttempts
+		}
+	}
 	for i := range cfg.Groups {
 		g := &cfg.Groups[i]
 		switch g.Kind {
@@ -334,6 +367,15 @@ func validate(cfg *Config) error {
 	if cfg.BatchMaxWait < 0 {
 		return fmt.Errorf("pipeline: negative batch max-wait %v", cfg.BatchMaxWait)
 	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return fmt.Errorf("pipeline: %w", err)
+	}
+	if cfg.Recovery.Timeout < 0 {
+		return fmt.Errorf("pipeline: negative recovery timeout %v", cfg.Recovery.Timeout)
+	}
+	if cfg.Recovery.MaxAttempts < 0 {
+		return fmt.Errorf("pipeline: negative recovery attempt budget %d", cfg.Recovery.MaxAttempts)
+	}
 	return nil
 }
 
@@ -380,6 +422,7 @@ func (s *Session) buildNetwork() error {
 // constructors seed it, so a session run is bit-identical to the
 // equivalent manual setup.
 func (s *Session) buildTargets() error {
+	s.registry = fault.Registry{}
 	totalSticks := 0
 	for _, g := range s.cfg.Groups {
 		if g.Kind == GroupVPU {
@@ -401,12 +444,23 @@ func (s *Session) buildTargets() error {
 				return fmt.Errorf("pipeline: ncs device: %w", err)
 			}
 			s.devices[i] = d
+			// A stick registers with its port, so a Slowdown degrades
+			// both the SHAVE clock and the USB link.
+			s.registry.Add(port.Name(), d, port)
 		}
 	}
 
 	s.targets = make([]core.Target, len(s.cfg.Groups))
 	s.perVPU = make([][]*ncs.Device, len(s.cfg.Groups))
 	nextStick := 0
+	kindCount := map[GroupKind]int{}
+	batchName := func(k GroupKind) string {
+		kindCount[k]++
+		if kindCount[k] > 1 {
+			return fmt.Sprintf("%s%d", k, kindCount[k])
+		}
+		return k.String()
+	}
 	for i, g := range s.cfg.Groups {
 		switch g.Kind {
 		case GroupCPU:
@@ -422,6 +476,7 @@ func (s *Session) buildTargets() error {
 				t.SetTimeline(s.cfg.Timeline)
 			}
 			s.applyAssembly(t)
+			s.registry.Add(batchName(GroupCPU), eng)
 			s.targets[i] = t
 		case GroupGPU:
 			eng, err := devsim.NewGPU(devsim.DefaultGPUConfig(), devsim.WorkloadOf(s.net), rng.New(s.cfg.Seed))
@@ -436,6 +491,7 @@ func (s *Session) buildTargets() error {
 				t.SetTimeline(s.cfg.Timeline)
 			}
 			s.applyAssembly(t)
+			s.registry.Add(batchName(GroupGPU), eng)
 			s.targets[i] = t
 		case GroupVPU:
 			sticks := s.devices[nextStick : nextStick+g.Devices]
@@ -448,6 +504,7 @@ func (s *Session) buildTargets() error {
 			if s.cfg.Timeline != nil {
 				opts.Timeline = s.cfg.Timeline
 			}
+			opts.Recovery = s.groupRecovery(i)
 			t, err := core.NewVPUTarget(sticks, s.blob, opts)
 			if err != nil {
 				return fmt.Errorf("pipeline: vpu target: %w", err)
@@ -459,6 +516,46 @@ func (s *Session) buildTargets() error {
 		}
 	}
 	return nil
+}
+
+// groupRecovery wires the session's recovery policy for one VPU
+// group: the user's hooks still fire, and the session's collectors
+// account every retry, fault drop and outage so the report's
+// availability metrics (and goodput) stay honest.
+func (s *Session) groupRecovery(group int) core.RecoveryConfig {
+	rc := s.cfg.Recovery
+	if rc.Timeout <= 0 {
+		return rc
+	}
+	userRetry, userDrop, userOutage := rc.OnRetry, rc.OnDrop, rc.OnOutage
+	rc.OnRetry = func(item core.Item, at time.Duration) {
+		if s.merged != nil {
+			s.merged.NoteRetry()
+			s.perGroup[group].NoteRetry()
+		}
+		if userRetry != nil {
+			userRetry(item, at)
+		}
+	}
+	rc.OnDrop = func(item core.Item, at time.Duration) {
+		if s.merged != nil {
+			s.merged.NoteDrop(core.DropFailed)
+			s.perGroup[group].NoteDrop(core.DropFailed)
+		}
+		if userDrop != nil {
+			userDrop(item, at)
+		}
+	}
+	rc.OnOutage = func(device string, from, to time.Duration, recovered bool) {
+		if s.merged != nil {
+			s.merged.NoteOutage(from, to, recovered)
+			s.perGroup[group].NoteOutage(from, to, recovered)
+		}
+		if userOutage != nil {
+			userOutage(device, from, to, recovered)
+		}
+	}
+	return rc
 }
 
 // applyAssembly configures a batch target's SLO-aware assembly from
@@ -496,6 +593,15 @@ func (s *Session) Targets() []core.Target { return s.targets }
 // WithStream, nil otherwise.
 func (s *Session) Stream() *core.StreamSource { return s.stream }
 
+// FaultRegistry returns the session's injectable-device registry
+// (stick and port hooks under "ncs0".., batch engines under
+// "cpu"/"gpu"), for hand-wired fault.Apply experiments.
+func (s *Session) FaultRegistry() fault.Registry { return s.registry }
+
+// FaultLog returns the injected-fault log (nil until Run, empty when
+// no plan was configured). It fills in as the simulation runs.
+func (s *Session) FaultLog() *fault.Log { return s.faultLog }
+
 // SetSource overrides the input source (folder sources, custom
 // generators). Call before Run.
 func (s *Session) SetSource(src core.Source) { s.source = src }
@@ -531,6 +637,24 @@ func (s *Session) Run() (*Report, error) {
 	for i := range perGroup {
 		perGroup[i] = core.NewCollector(false)
 		perGroup[i].SetSLO(s.cfg.SLO)
+	}
+	// Publish the collectors before the simulation starts: the recovery
+	// hooks installed at build time reach them through the session.
+	s.merged, s.perGroup = merged, perGroup
+
+	if !s.cfg.Faults.Empty() {
+		var observe func(fault.Injection)
+		if s.cfg.Timeline != nil {
+			tl := s.cfg.Timeline
+			observe = func(inj fault.Injection) {
+				tl.Add(inj.Device, trace.Fault, inj.At, inj.Until, inj.Kind.String())
+			}
+		}
+		lg, err := fault.Apply(s.env, s.cfg.Faults, rng.New(s.cfg.Seed).Derive("faults"), s.registry, observe)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: faults: %w", err)
+		}
+		s.faultLog = lg
 	}
 
 	if s.cfg.AdmissionDepth > 0 {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/power"
 )
 
@@ -43,6 +44,18 @@ type TargetReport struct {
 	// so they cannot be attributed to a group; the arrival-based
 	// goodput lives on the aggregate Report). 0 when no SLO is set.
 	Goodput float64
+	// Availability metrics (meaningful for VPU groups under a fault
+	// plan; zero otherwise). Outages counts detected device outages,
+	// Recovered those healed by re-opening the device; Retries counts
+	// fault-triggered redeliveries and FaultDrops items lost after the
+	// redelivery budget. Downtime is total device-down time (abandoned
+	// devices charged to the end of the run), MTTR the mean
+	// detection-to-rejoin time of recovered outages, and Uptime the
+	// device-time fraction the group's sticks were serviceable.
+	Outages, Recovered  int
+	Retries, FaultDrops int
+	Downtime, MTTR      time.Duration
+	Uptime              float64
 	// Job exposes the raw timing (StartedAt/ReadyAt/DoneAt, Err).
 	Job *core.Job
 	// Collector exposes the raw per-group aggregates.
@@ -81,6 +94,18 @@ type Report struct {
 	// Admission carries the ingress counters when the session ran
 	// with WithAdmission (zero value otherwise).
 	Admission core.AdmissionStats
+	// FaultsInjected counts the faults the session's plan drove into
+	// the devices; FaultLog lists them (nil without WithFaults).
+	FaultsInjected int
+	FaultLog       *fault.Log
+	// Aggregate availability under the fault plan: outage counts,
+	// fault-triggered retries and drops, total downtime, mean time to
+	// repair, and the device-time uptime fraction across all VPU
+	// groups (1 when no stick was ever down).
+	Outages, Recovered  int
+	Retries, FaultDrops int
+	Downtime, MTTR      time.Duration
+	Uptime              float64
 	// Arrivals names the open-loop arrival process driving the run
 	// (nil for closed-loop runs).
 	Arrivals core.Arrivals
@@ -119,10 +144,18 @@ func (s *Session) buildReport(job *core.Job, pool *core.Pool, merged *core.Colle
 	if s.admission != nil {
 		rep.Admission = s.admission.Stats()
 	}
+	rep.FaultsInjected = s.faultLog.Count()
+	rep.FaultLog = s.faultLog
+	rep.Retries = merged.Retries
+	rep.FaultDrops = merged.FaultDrops
+	rep.Outages = merged.Outages
+	rep.Recovered = merged.Repaired
+	rep.MTTR = merged.MTTR()
 	jobs := []*core.Job{job}
 	if pool != nil {
 		jobs = pool.ChildJobs()
 	}
+	var deviceSpan, deviceDown time.Duration
 	for i, t := range s.targets {
 		tj := jobs[i]
 		tr := TargetReport{
@@ -134,6 +167,12 @@ func (s *Session) buildReport(job *core.Job, pool *core.Pool, merged *core.Colle
 			TopOneError:    perGroup[i].TopOneError(),
 			MeanConfidence: perGroup[i].MeanConfidence(),
 			Latency:        perGroup[i].Latency(),
+			Outages:        perGroup[i].Outages,
+			Recovered:      perGroup[i].Repaired,
+			Retries:        perGroup[i].Retries,
+			FaultDrops:     perGroup[i].FaultDrops,
+			MTTR:           perGroup[i].MTTR(),
+			Uptime:         1,
 			Job:            tj,
 			Collector:      perGroup[i],
 		}
@@ -147,9 +186,30 @@ func (s *Session) buildReport(job *core.Job, pool *core.Pool, merged *core.Colle
 			tr.EnergyJoules += d.Meter().EnergyJoules(s.env.Now())
 			tr.AvgPowerWatts += d.Meter().AveragePowerWatts(s.env.Now())
 		}
+		// Uptime: the fraction of device-time the group's sticks were
+		// serviceable over its own run window, abandoned devices
+		// charged through the end of the window.
+		if n := len(s.perVPU[i]); n > 0 && tj.Span() > 0 {
+			tr.Downtime = perGroup[i].DowntimeThrough(tj.DoneAt)
+			span := time.Duration(n) * tj.Span()
+			deviceSpan += span
+			deviceDown += tr.Downtime
+			tr.Uptime = 1 - float64(tr.Downtime)/float64(span)
+			if tr.Uptime < 0 {
+				tr.Uptime = 0
+			}
+		}
+		rep.Downtime += tr.Downtime
 		rep.TDPWatts += tr.TDPWatts
 		rep.EnergyJoules += tr.EnergyJoules
 		rep.Targets = append(rep.Targets, tr)
+	}
+	rep.Uptime = 1
+	if deviceSpan > 0 {
+		rep.Uptime = 1 - float64(deviceDown)/float64(deviceSpan)
+		if rep.Uptime < 0 {
+			rep.Uptime = 0
+		}
 	}
 	if rep.TDPWatts > 0 {
 		rep.ImagesPerWatt = power.ImagesPerWatt(rep.Throughput, rep.TDPWatts)
@@ -204,8 +264,14 @@ func (r *Report) String() string {
 		}
 	}
 	if r.SLO > 0 {
-		fmt.Fprintf(&b, "slo %v: goodput %.1f%% of %d arrivals (shed %d, expired %d)\n",
-			r.SLO, r.Goodput*100, r.Collector.Arrivals(), r.Collector.Shed, r.Collector.Expired)
+		fmt.Fprintf(&b, "slo %v: goodput %.1f%% of %d arrivals (shed %d, expired %d, failed %d)\n",
+			r.SLO, r.Goodput*100, r.Collector.Arrivals(), r.Collector.Shed, r.Collector.Expired,
+			r.Collector.FaultDrops)
+	}
+	if r.FaultsInjected > 0 || r.Outages > 0 || r.Retries > 0 || r.FaultDrops > 0 {
+		fmt.Fprintf(&b, "faults: %d injected; %d outage(s), %d recovered (MTTR %v), downtime %v; %d retried, %d dropped; uptime %.2f%%\n",
+			r.FaultsInjected, r.Outages, r.Recovered, r.MTTR.Round(time.Millisecond),
+			r.Downtime.Round(time.Millisecond), r.Retries, r.FaultDrops, r.Uptime*100)
 	}
 	fmt.Fprintf(&b, "simulated time %v", r.SimTime)
 	if len(r.Targets) > 1 {

@@ -88,11 +88,15 @@ func (q *Queue[T]) GetWithin(p *Proc, d time.Duration) (T, bool) {
 			return zero, false
 		}
 		timedOut := false
-		p.env.At(deadline, func() {
+		// The timer is cancellable so the usual case — an item arrives
+		// well before the deadline — leaves no residue: a stale timer
+		// firing later could only wake p spuriously, and one still
+		// pending when the run drains would drag the clock (and thus
+		// SimTime and energy integrals) past the real end of the run.
+		cancel := p.env.AtCancelable(deadline, func() {
 			// Fires only if p is still parked as a getter of this
-			// queue: a putter may have woken p first (dropGetter then
-			// misses), or p may even have re-parked here through a
-			// later Get — a spurious wake the getter loops absorb.
+			// queue (a putter may have woken p first; dropGetter then
+			// misses).
 			if q.dropGetter(p) {
 				timedOut = true
 				p.wake()
@@ -103,6 +107,7 @@ func (q *Queue[T]) GetWithin(p *Proc, d time.Duration) (T, bool) {
 		if timedOut {
 			return zero, false
 		}
+		cancel()
 		// Woken by a putter; re-check in case another consumer took
 		// the item at the same instant.
 	}

@@ -165,3 +165,42 @@ func TestGetWithinWakesBlockedPutter(t *testing.T) {
 		t.Errorf("second put completed at %v, want 20ms", putDone)
 	}
 }
+
+// TestCancelledTimerLeavesNoResidue: a GetWithin whose item arrives
+// early must not leave a stale deadline event that drags the clock —
+// the run ends at the last real event, so SimTime and energy
+// integrals stay honest.
+func TestCancelledTimerLeavesNoResidue(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue[int](env, "q", 0)
+	env.Process("producer", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		q.Put(p, 1)
+	})
+	env.Process("consumer", func(p *Proc) {
+		if _, ok := q.GetWithin(p, time.Hour); !ok {
+			t.Error("item not delivered")
+		}
+	})
+	env.Run()
+	if env.Now() != 10*time.Millisecond {
+		t.Errorf("run ended at %v; the hour-long cancelled timer dragged the clock", env.Now())
+	}
+}
+
+// TestAtCancelable: a cancelled callback never runs; an uncancelled
+// one does.
+func TestAtCancelable(t *testing.T) {
+	env := NewEnv()
+	fired := []string{}
+	cancel := env.AtCancelable(5*time.Millisecond, func() { fired = append(fired, "cancelled") })
+	env.AtCancelable(7*time.Millisecond, func() { fired = append(fired, "kept") })
+	cancel()
+	env.Run()
+	if len(fired) != 1 || fired[0] != "kept" {
+		t.Errorf("fired = %v, want [kept]", fired)
+	}
+	if env.Now() != 7*time.Millisecond {
+		t.Errorf("clock at %v, want 7ms", env.Now())
+	}
+}

@@ -54,6 +54,11 @@ type event struct {
 	seq uint64
 	p   *Proc  // process to resume, if any
 	fn  func() // callback to run, if any
+	// cancelled, when set and true at dispatch time, skips the event
+	// entirely — no callback, and crucially no clock advance, so a
+	// cancelled timer left at the end of a run cannot inflate the
+	// simulation horizon.
+	cancelled *bool
 }
 
 type eventHeap []event
@@ -80,6 +85,21 @@ func (e *Env) schedule(at time.Duration, p *Proc, fn func()) {
 // At schedules fn to run as a callback at absolute virtual time t
 // (t >= Now). Callbacks run on the scheduler and must not block.
 func (e *Env) At(t time.Duration, fn func()) { e.schedule(t, nil, fn) }
+
+// AtCancelable schedules fn like At and returns a cancel function.
+// Cancelling before the event fires discards it completely: the
+// callback never runs and the clock never advances to t on its
+// account — the primitive behind timeout timers (Queue.GetWithin)
+// whose deadline usually never arrives.
+func (e *Env) AtCancelable(t time.Duration, fn func()) (cancel func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", t, e.now))
+	}
+	flag := new(bool)
+	e.seq++
+	heap.Push(&e.events, event{t: t, seq: e.seq, fn: fn, cancelled: flag})
+	return func() { *flag = true }
+}
 
 // After schedules fn to run after delay d.
 func (e *Env) After(d time.Duration, fn func()) {
@@ -180,6 +200,9 @@ func (e *Env) RunUntil(t time.Duration) {
 
 func (e *Env) step() {
 	ev := heap.Pop(&e.events).(event)
+	if ev.cancelled != nil && *ev.cancelled {
+		return
+	}
 	e.now = ev.t
 	if ev.fn != nil {
 		ev.fn()

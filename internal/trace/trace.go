@@ -22,6 +22,8 @@ const (
 	Read    Kind = "read" // result retrieval
 	Join    Kind = "join"
 	Compute Kind = "compute" // host-side batch compute (CPU/GPU)
+	Fault   Kind = "fault"   // fault injection (instant, or a slowdown window)
+	Down    Kind = "down"    // detected outage: detection to rejoin/abandonment
 )
 
 // Span is one labelled interval on one track (a device or thread).
@@ -186,6 +188,7 @@ func (t *Timeline) Render(width int) string {
 	}
 	glyph := map[Kind]byte{
 		Fork: 'F', Load: 'L', Exec: '#', Read: 'R', Join: 'J', Compute: 'C',
+		Fault: '!', Down: 'X',
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "timeline 0 .. %v (1 col = %v)\n", maxEnd, maxEnd/time.Duration(width))
@@ -194,25 +197,35 @@ func (t *Timeline) Render(width int) string {
 		for i := range row {
 			row[i] = '.'
 		}
-		for _, s := range spans {
-			if s.Track != track {
-				continue
-			}
-			g, ok := glyph[s.Kind]
-			if !ok {
-				g = '?'
-			}
-			i0 := int(int64(s.Start) * int64(width) / int64(maxEnd))
-			i1 := int(int64(s.End) * int64(width) / int64(maxEnd))
-			if i1 >= width {
-				i1 = width - 1
-			}
-			for i := i0; i <= i1; i++ {
-				row[i] = g
+		// Two passes: fault-injection marks paint last so an overlapping
+		// exec/down span cannot hide the instant a fault fired.
+		for _, faultPass := range []bool{false, true} {
+			for _, s := range spans {
+				if s.Track != track || (s.Kind == Fault) != faultPass {
+					continue
+				}
+				g, ok := glyph[s.Kind]
+				if !ok {
+					g = '?'
+				}
+				i0 := int(int64(s.Start) * int64(width) / int64(maxEnd))
+				if i0 >= width {
+					i0 = width - 1 // a span starting exactly at maxEnd
+				}
+				i1 := int(int64(s.End) * int64(width) / int64(maxEnd))
+				if i1 >= width {
+					i1 = width - 1
+				}
+				if s.Kind == Fault && s.Start == s.End {
+					i1 = i0 // point fault: a single mark
+				}
+				for i := i0; i <= i1; i++ {
+					row[i] = g
+				}
 			}
 		}
 		fmt.Fprintf(&b, "%-12s |%s|\n", track, row)
 	}
-	b.WriteString("legend: F=fork L=load #=exec R=read J=join C=compute\n")
+	b.WriteString("legend: F=fork L=load #=exec R=read J=join C=compute !=fault X=down\n")
 	return b.String()
 }

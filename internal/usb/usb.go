@@ -110,7 +110,23 @@ type Port struct {
 	path   []hop // device link, [hub], root — in transfer order
 	// bytesMoved accumulates traffic for reporting.
 	bytesMoved int64
+	// slow is the fault-injected link-degradation factor (<=1 = none):
+	// a flaky link retrying bulk packets stretches every hop occupancy.
+	slow float64
 }
+
+// InjectSlowdown models a degraded link (bulk retries, a renegotiated
+// speed): every hop occupancy of this port's transfers is stretched
+// ×factor until ClearSlowdown. The fault-injection hook internal/fault
+// drives for Slowdown faults.
+func (p *Port) InjectSlowdown(factor float64) {
+	if factor > 1 {
+		p.slow = factor
+	}
+}
+
+// ClearSlowdown ends a link-degradation window.
+func (p *Port) ClearSlowdown() { p.slow = 0 }
 
 // AttachDevice attaches a device either behind hub (0 <= hub <
 // Hubs()) or directly to the root (hub == -1), as in Fig. 5.
@@ -152,7 +168,14 @@ func (p *Port) Transfer(proc *sim.Proc, n int) {
 		}
 		for _, h := range p.path {
 			h.res.Acquire(proc)
-			proc.Sleep(durationFor(sz, h.bw))
+			d := durationFor(sz, h.bw)
+			if p.slow > 1 {
+				// Degraded link: retries stretch the hop occupancy (and,
+				// since the hop is held, everyone sharing it feels it —
+				// as real bulk retries do).
+				d = time.Duration(float64(d) * p.slow)
+			}
+			proc.Sleep(d)
 			h.res.Release()
 		}
 	}

@@ -245,3 +245,37 @@ func TestAggregateThroughputRespectsRootCap(t *testing.T) {
 		t.Errorf("aggregate rate %.0f far below root cap %.0f", rate, cfg.RootBandwidth)
 	}
 }
+
+// TestInjectSlowdownStretchesTransfers: a degraded link stretches
+// every hop occupancy; clearing it restores the baseline exactly.
+func TestInjectSlowdownStretchesTransfers(t *testing.T) {
+	env := sim.NewEnv()
+	f := mustFabric(t, env, DefaultConfig())
+	port, err := f.AttachDevice("d0", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 294 * 1024
+	var normal, slowed, restored time.Duration
+	env.Process("xfer", func(p *sim.Proc) {
+		move := func() time.Duration {
+			start := p.Now()
+			port.Transfer(p, n)
+			return p.Now() - start
+		}
+		normal = move()
+		port.InjectSlowdown(3)
+		slowed = move()
+		port.ClearSlowdown()
+		restored = move()
+	})
+	env.Run()
+	// Hop time dominates over the fixed setup latency, so x3 on the
+	// hops should land past 2x overall.
+	if slowed < normal*2 {
+		t.Errorf("degraded transfer %v not clearly slower than baseline %v", slowed, normal)
+	}
+	if restored != normal {
+		t.Errorf("transfer after ClearSlowdown %v, want baseline %v", restored, normal)
+	}
+}

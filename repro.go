@@ -57,6 +57,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/devsim"
+	"repro/internal/fault"
 	"repro/internal/graphfile"
 	"repro/internal/imagenet"
 	"repro/internal/ncs"
@@ -258,11 +259,62 @@ const (
 	BlockOnFull = core.Block
 )
 
-// Admission drop reasons (AdmissionOptions.OnDrop, Collector.NoteDrop).
+// Drop reasons (AdmissionOptions.OnDrop, RecoveryConfig.OnDrop,
+// Collector.NoteDrop).
 const (
 	DropShed    = core.DropShed
 	DropExpired = core.DropExpired
+	// DropFailed marks an item lost to device failure after its
+	// redelivery budget ran out.
+	DropFailed = core.DropFailed
 )
+
+// Fault injection and self-healing (internal/fault + core recovery).
+type (
+	// FaultPlan is a deterministic failure scenario: scripted events
+	// plus seeded-stochastic fault processes.
+	FaultPlan = fault.Plan
+	// FaultEvent is one scripted fault (device, kind, instant).
+	FaultEvent = fault.Event
+	// FaultProcess is a seeded Poisson fault generator over a window.
+	FaultProcess = fault.Process
+	// FaultKind identifies a fault class (StickHang, LinkDrop,
+	// TransientError, Slowdown).
+	FaultKind = fault.Kind
+	// FaultRegistry maps device names to their injection hooks.
+	FaultRegistry = fault.Registry
+	// FaultInjection is one applied fault (log/trace record).
+	FaultInjection = fault.Injection
+	// FaultLog records every fault a driver injected.
+	FaultLog = fault.Log
+	// RecoveryConfig is the health-monitoring and self-healing policy
+	// of the multi-VPU pipeline: completion-timeout detection, reboot-
+	// priced recovery (or fail-stop), and a per-item redelivery budget.
+	RecoveryConfig = core.RecoveryConfig
+)
+
+// Fault kinds.
+const (
+	// StickHang freezes a device's firmware until the host resets it.
+	StickHang = fault.StickHang
+	// LinkDrop severs a device's USB link (MVNC_GONE).
+	LinkDrop = fault.LinkDrop
+	// TransientError fails single inferences recoverably.
+	TransientError = fault.TransientError
+	// Slowdown stretches a device's service time ×factor for a window.
+	Slowdown = fault.Slowdown
+)
+
+// DefaultRecoveryConfig returns the standard self-healing policy (2 s
+// completion heartbeat, recovery on, 3 delivery attempts per item).
+func DefaultRecoveryConfig() RecoveryConfig { return core.DefaultRecoveryConfig() }
+
+// ApplyFaults drives a fault plan into registered devices for
+// hand-wired experiments; sessions use WithFaults instead. observe
+// (optional) sees each injection as it is applied.
+func ApplyFaults(env *Env, plan FaultPlan, seed *Rand, reg FaultRegistry, observe func(FaultInjection)) (*FaultLog, error) {
+	return fault.Apply(env, plan, seed, reg, observe)
+}
 
 // NewAdmissionQueue wraps a source with bounded admission for
 // hand-wired serving experiments; sessions use WithAdmission instead.
@@ -431,6 +483,23 @@ func WithAdaptiveBatching(maxWait time.Duration) SessionOption {
 	return pipeline.WithAdaptiveBatching(maxWait)
 }
 
+// WithFaults injects a deterministic fault plan into the session's
+// devices as the run unfolds: stick hangs, USB link drops, transient
+// inference errors, straggler slowdowns — scripted or seeded, always
+// bit-for-bit reproducible. Sticks are named "ncs0".."ncsN" in
+// testbed port order, batch groups "cpu"/"gpu". The report gains
+// availability metrics (outages, MTTR, retries, fault-attributed
+// drops, uptime).
+func WithFaults(plan FaultPlan) SessionOption { return pipeline.WithFaults(plan) }
+
+// WithRecovery sets the health-monitoring and self-healing policy of
+// every VPU group: completion-timeout detection, reboot-priced device
+// recovery (or fail-stop abandonment), and a bounded per-item
+// redelivery budget whose exhausted items count against goodput. With
+// a fault plan that can kill inferences and no explicit policy, the
+// session defaults to DefaultRecoveryConfig().
+func WithRecovery(rc RecoveryConfig) SessionOption { return pipeline.WithRecovery(rc) }
+
 // WithStream replaces the dataset source with a push-style stream of
 // the given buffer capacity (0 = unbounded); feed it via
 // Session.Stream from a producer process on Session.Env.
@@ -585,6 +654,11 @@ type (
 	// load) measurement of the slo experiment (Benchmarks.SLOPoints):
 	// fixed vs adaptive batch assembly, open vs bounded admission.
 	SLOPoint = bench.SLOPoint
+	// ResiliencePoint is one (configuration, fault level, recovery
+	// policy) measurement of the resilience experiment
+	// (Benchmarks.ResiliencePoints): goodput, tail latency and
+	// availability under injected faults, self-healing vs fail-stop.
+	ResiliencePoint = bench.ResiliencePoint
 )
 
 // DefaultBenchConfig returns the paper-scale experiment configuration.

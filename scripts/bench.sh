@@ -1,9 +1,12 @@
 #!/usr/bin/env sh
 # Regenerate the paper's evaluation benchmarks at CI scale into
 # .bench/ (one benchmark per figure; see bench_test.go), then emit the
-# machine-readable perf snapshot BENCH_PR<n>.json from the slo serving
-# experiment. <n> is the newest PR recorded in CHANGES.md, so each
-# PR's run lands in its own snapshot without editing this script.
+# machine-readable perf snapshot BENCH_PR<n>.json from the resilience
+# serving experiment. <n> is the newest PR recorded in CHANGES.md, so
+# each PR's run lands in its own snapshot without editing this script;
+# a CHANGES.md with no PR entry is an error (the alternative is a
+# malformed snapshot name like BENCH_PR.json silently shadowing the
+# real history).
 #
 # Overrides: NCSW_BENCH_TIME (benchmark measuring window),
 # NCSW_BENCH_OUT (text output), NCSW_BENCH_JSON (snapshot path),
@@ -14,11 +17,16 @@ cd "$(dirname "$0")/.."
 
 if [ -z "${NCSW_BENCH_JSON:-}" ]; then
 	pr=$(sed -n 's/^- PR \([0-9][0-9]*\).*/\1/p' CHANGES.md | sort -n | tail -1)
-	NCSW_BENCH_JSON="BENCH_PR${pr:-0}.json"
+	if [ -z "$pr" ]; then
+		echo "bench.sh: no 'PR <n>' entry in CHANGES.md — cannot name the snapshot." >&2
+		echo "bench.sh: add a line like '- PR 5 (...): ...' or set NCSW_BENCH_JSON explicitly." >&2
+		exit 1
+	fi
+	NCSW_BENCH_JSON="BENCH_PR${pr}.json"
 fi
 OUT_FILE=${NCSW_BENCH_OUT:-.bench/figures.txt}
 BENCH_TIME=${NCSW_BENCH_TIME:-200ms}
-JSON_FLAGS=${NCSW_BENCH_JSON_FLAGS:--slo -json}
+JSON_FLAGS=${NCSW_BENCH_JSON_FLAGS:--faults -json}
 
 mkdir -p "$(dirname "$OUT_FILE")"
 
@@ -27,6 +35,6 @@ go test . \
 	-bench . \
 	-benchtime "$BENCH_TIME" | tee "$OUT_FILE"
 
-echo "== slo serving points -> $NCSW_BENCH_JSON =="
+echo "== resilience serving points -> $NCSW_BENCH_JSON =="
 # shellcheck disable=SC2086 # JSON_FLAGS is a flag list by contract
 go run ./cmd/ncsw-bench $JSON_FLAGS > "$NCSW_BENCH_JSON"
