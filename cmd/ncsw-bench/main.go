@@ -16,6 +16,8 @@
 //	ncsw-bench -slo -json              # machine-readable slo points (BENCH_PR3.json)
 //	ncsw-bench -faults                 # goodput under injected faults, recovery vs fail-stop
 //	ncsw-bench -faults -json           # machine-readable resilience points (BENCH_PR4.json)
+//	ncsw-bench -hedge                  # p99/goodput vs hedge trigger, with and without faults
+//	ncsw-bench -hedge -json            # machine-readable hedge points (BENCH_PR5.json)
 package main
 
 import (
@@ -49,8 +51,10 @@ func main() {
 		"run the slo experiment (adaptive batching + admission control vs the fixed/open baseline)")
 	faults := flag.Bool("faults", false,
 		"run the resilience experiment (goodput/p99 under injected faults, self-healing recovery vs fail-stop)")
+	hedge := flag.Bool("hedge", false,
+		"run the hedge experiment (p99/goodput vs hedge trigger, with and without faults)")
 	jsonOut := flag.Bool("json", false,
-		"with -serve, -slo or -faults: emit the experiment's points as JSON (the BENCH_PR*.json format)")
+		"with -serve, -slo, -faults or -hedge: emit the experiment's points as JSON (the BENCH_PR*.json format)")
 	flag.Parse()
 
 	if *hetero {
@@ -83,16 +87,22 @@ func main() {
 
 	ids := repro.ExperimentIDs()
 	if *experiment != "all" {
-		if *serve || *slo || *faults {
-			log.Fatal("-serve/-slo/-faults and -experiment are mutually exclusive (use -experiment serving,slo,resilience to mix)")
+		if *serve || *slo || *faults || *hedge {
+			log.Fatal("-serve/-slo/-faults/-hedge and -experiment are mutually exclusive (use -experiment serving,slo,resilience,hedge to mix)")
 		}
 		ids = strings.Split(*experiment, ",")
 	}
-	if (*serve && *slo) || (*serve && *faults) || (*slo && *faults) {
-		log.Fatal("-serve, -slo and -faults are mutually exclusive")
+	modes := 0
+	for _, on := range []bool{*serve, *slo, *faults, *hedge} {
+		if on {
+			modes++
+		}
 	}
-	if *jsonOut && !*serve && !*slo && !*faults {
-		log.Fatal("-json requires -serve, -slo or -faults (only their points have a JSON form)")
+	if modes > 1 {
+		log.Fatal("-serve, -slo, -faults and -hedge are mutually exclusive")
+	}
+	if *jsonOut && modes == 0 {
+		log.Fatal("-json requires -serve, -slo, -faults or -hedge (only their points have a JSON form)")
 	}
 	if *serve {
 		if *jsonOut {
@@ -114,6 +124,13 @@ func main() {
 			return
 		}
 		ids = []string{"resilience"}
+	}
+	if *hedge {
+		if *jsonOut {
+			emitHedgeJSON(h)
+			return
+		}
+		ids = []string{"hedge"}
 	}
 	for _, id := range ids {
 		start := time.Now()
@@ -186,6 +203,25 @@ func emitResilienceJSON(h *repro.Benchmarks) {
 		Experiment string                  `json:"experiment"`
 		Points     []repro.ResiliencePoint `json:"points"`
 	}{Experiment: "resilience", Points: points}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// emitHedgeJSON runs the hedge experiment and emits the
+// machine-readable points (per configuration, fault level and hedge
+// variant: p99, goodput, hedge volume and waste) that scripts/bench.sh
+// stores as the current PR's BENCH_PR*.json snapshot.
+func emitHedgeJSON(h *repro.Benchmarks) {
+	points, err := h.HedgePoints()
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Experiment string             `json:"experiment"`
+		Points     []repro.HedgePoint `json:"points"`
+	}{Experiment: "hedge", Points: points}); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -145,6 +145,10 @@ type Harness struct {
 	goog     *nn.Graph
 	blob     []byte
 	workload devsim.Workload
+	// capCache memoizes the deterministic closed-loop capacity probes
+	// shared by the resilience and hedge experiments (keyed by
+	// config/images; see resilienceCapacity).
+	capCache map[string]any
 }
 
 // NewHarness validates cfg and builds the shared artefacts.
@@ -194,6 +198,7 @@ func (h *Harness) All() ([]*Table, error) {
 		{"serving", h.Serving},
 		{"slo", h.SLO},
 		{"resilience", h.Resilience},
+		{"hedge", h.Hedge},
 	}
 	var out []*Table
 	for _, g := range gens {
@@ -235,6 +240,8 @@ func (h *Harness) Experiment(id string) (*Table, error) {
 		return h.SLO()
 	case "resilience":
 		return h.Resilience()
+	case "hedge":
+		return h.Hedge()
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", id, ExperimentIDs())
 	}
@@ -256,5 +263,5 @@ func precisionImages(cfg Config) int {
 // ExperimentIDs lists the available artefacts: the paper's figures in
 // order, the headline summary, and the beyond-the-paper studies.
 func ExperimentIDs() []string {
-	return []string{"fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "summary", "ablation", "precision", "gemm", "serving", "slo", "resilience"}
+	return []string{"fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "summary", "ablation", "precision", "gemm", "serving", "slo", "resilience", "hedge"}
 }

@@ -194,10 +194,25 @@ func (h *Harness) ResiliencePoints() ([]ResiliencePoint, error) {
 }
 
 // resilienceCapacity probes a configuration's closed-loop throughput
-// and setup time, fault-free and unmonitored.
+// and setup time, fault-free and unmonitored. The probe is
+// deterministic and shared by the resilience and hedge experiments,
+// so the result is memoized per (config, images) on the harness — an
+// all-experiments run pays each full closed-loop simulation once.
 func (h *Harness) resilienceCapacity(cfg resilienceConfig, images int) (float64, time.Duration, error) {
+	type probe struct {
+		capacity float64
+		ready    time.Duration
+	}
+	key := fmt.Sprintf("%s/%d", cfg.name, images)
+	if h.capCache == nil {
+		h.capCache = map[string]any{}
+	}
+	if p, ok := h.capCache[key]; ok {
+		pr := p.(probe)
+		return pr.capacity, pr.ready, nil
+	}
 	env := sim.NewEnv()
-	target, _, err := h.resilienceTarget(env, cfg, "capacity", core.RecoveryConfig{})
+	target, _, err := h.resilienceTarget(env, cfg, "capacity", core.RecoveryConfig{}, core.HedgeConfig{})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -214,6 +229,7 @@ func (h *Harness) resilienceCapacity(cfg resilienceConfig, images int) (float64,
 	if job.Err != nil {
 		return 0, 0, job.Err
 	}
+	h.capCache[key] = probe{capacity: job.Throughput(), ready: job.ReadyAt}
 	return job.Throughput(), job.ReadyAt, nil
 }
 
@@ -236,7 +252,7 @@ func (h *Harness) resiliencePoint(cfg resilienceConfig, level resilienceLevel, p
 	// The run seed depends only on (config, level): both policies face
 	// identical device jitter, identical arrivals, identical faults.
 	runName := level.name
-	target, devices, err := h.resilienceTarget(env, cfg, runName, rc)
+	target, devices, err := h.resilienceTarget(env, cfg, runName, rc, core.HedgeConfig{})
 	if err != nil {
 		return ResiliencePoint{}, err
 	}
@@ -303,8 +319,11 @@ func (h *Harness) resiliencePoint(cfg resilienceConfig, level resilienceLevel, p
 // resilienceTarget builds one configuration's target and returns its
 // devices (for the fault registry). Device jitter is seeded per
 // (config, runName) so distinct cells draw independent jitter while
-// the two policies of one cell stay identical.
-func (h *Harness) resilienceTarget(env *sim.Env, cfg resilienceConfig, runName string, rc core.RecoveryConfig) (core.Target, []*ncs.Device, error) {
+// the two policies of one cell stay identical. hc arms hedged
+// requests: across sticks for the multi-stick target, across children
+// for the pool (the hedge experiment; the resilience experiment
+// passes the zero value).
+func (h *Harness) resilienceTarget(env *sim.Env, cfg resilienceConfig, runName string, rc core.RecoveryConfig, hc core.HedgeConfig) (core.Target, []*ncs.Device, error) {
 	seed := rng.New(h.cfg.Seed).Derive("resilience/" + cfg.name + "/run/" + runName)
 	_, ports, err := usb.Testbed(env, usb.DefaultConfig(), cfg.sticks)
 	if err != nil {
@@ -321,6 +340,7 @@ func (h *Harness) resilienceTarget(env *sim.Env, cfg resilienceConfig, runName s
 	opts := core.DefaultVPUOptions()
 	opts.Recovery = rc
 	if !cfg.pooled {
+		opts.Hedge = hc
 		t, err := core.NewVPUTarget(devices, h.blob, opts)
 		return t, devices, err
 	}
@@ -332,7 +352,7 @@ func (h *Harness) resilienceTarget(env *sim.Env, cfg resilienceConfig, runName s
 		}
 		children[i] = t
 	}
-	pool, err := core.NewPool(children, core.PoolOptions{Routing: core.RouteLatency})
+	pool, err := core.NewPool(children, core.PoolOptions{Routing: core.RouteLatency, Hedge: hc})
 	return pool, devices, err
 }
 

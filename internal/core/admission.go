@@ -101,6 +101,12 @@ type AdmissionOptions struct {
 	// target: work that can no longer meet the SLO is not worth a
 	// device's time.
 	Deadline time.Duration
+	// MinDepth floors the health-scaled effective depth when the queue
+	// is wired to a health observer (ObserveHealth): even with every
+	// device down, at least MinDepth arrivals stay admitted so the
+	// first rejoining device finds work. 0 means 1. It never exceeds
+	// Depth and has no effect until ObserveHealth is called.
+	MinDepth int
 	// OnDrop observes every dropped item (shed or expired) with the
 	// virtual instant of the drop — the hook goodput accounting hangs
 	// off (Collector.NoteDrop).
@@ -121,6 +127,11 @@ type AdmissionStats struct {
 	Expired int
 	// Dispatched is how many were handed to a consumer.
 	Dispatched int
+	// Shrinks counts effective-depth reductions driven by health
+	// observations (ObserveHealth): each device-health degradation
+	// that lowered the bound adds one. 0 when the queue is not wired
+	// to a health observer.
+	Shrinks int
 }
 
 // AdmissionQueue is the bounded ingress edge of a serving setup: a
@@ -141,6 +152,9 @@ type AdmissionQueue struct {
 	opts   AdmissionOptions
 	stats  AdmissionStats
 	closed bool // end-of-stream sentinel posted
+	// eff is the current health-scaled effective depth (== Depth until
+	// ObserveHealth reports degraded capacity).
+	eff int
 }
 
 // NewAdmissionQueue wraps inner with admission control inside env.
@@ -158,9 +172,16 @@ func NewAdmissionQueue(env *sim.Env, inner Source, opts AdmissionOptions) (*Admi
 	if opts.Deadline < 0 {
 		return nil, fmt.Errorf("core: negative admission deadline %v", opts.Deadline)
 	}
+	if opts.MinDepth < 0 {
+		return nil, fmt.Errorf("core: negative admission min-depth %d", opts.MinDepth)
+	}
+	if opts.MinDepth > opts.Depth {
+		return nil, fmt.Errorf("core: admission min-depth %d exceeds depth %d", opts.MinDepth, opts.Depth)
+	}
 	a := &AdmissionQueue{
 		q:    sim.NewQueue[Item](env, "core/admission", opts.Depth),
 		opts: opts,
+		eff:  opts.Depth,
 	}
 	env.Process("admission", func(p *sim.Proc) {
 		for {
@@ -188,11 +209,16 @@ func (a *AdmissionQueue) admit(p *sim.Proc, item Item) {
 	case Block:
 		a.q.Put(p, item) // backpressure: blocks while the queue is full
 	case ShedOldest:
-		if !a.q.TryPut(item) {
-			if old, ok := a.q.TryGet(); ok {
-				a.drop(old, DropShed, p.Now())
+		// Evict queue heads until the arrival fits: after a health
+		// shrink the queue may be over-full by more than one item, and
+		// a shed policy must never block the pump.
+		for !a.q.TryPut(item) {
+			old, ok := a.q.TryGet()
+			if !ok {
+				a.drop(item, DropShed, p.Now())
+				return
 			}
-			a.q.Put(p, item)
+			a.drop(old, DropShed, p.Now())
 		}
 	default: // ShedNewest
 		if !a.q.TryPut(item) {
@@ -258,6 +284,53 @@ func (a *AdmissionQueue) Pending() int {
 // Stats returns the admission counters; read after the run completes
 // for final numbers.
 func (a *AdmissionQueue) Stats() AdmissionStats { return a.stats }
+
+// ObserveHealth makes the admission bound track device health: wire
+// it to a HealthAware target's SetHealthObserver (or a Pool's
+// aggregate observer). The effective depth scales proportionally to
+// healthy capacity — ceil(Depth × healthy/total), floored at MinDepth
+// and capped at Depth — so during an outage the queue stops admitting
+// work the degraded devices could only serve past its deadline, and
+// restores the full bound on rejoin. Shrinking evicts nothing:
+// already-queued items keep their place and drain normally, while new
+// arrivals meet the smaller bound (sheds under the shed policies,
+// backpressure under Block). Deterministic: depth transitions happen
+// at the health transition's virtual instant.
+func (a *AdmissionQueue) ObserveHealth(healthy, total int, _ time.Duration) {
+	if total <= 0 {
+		return
+	}
+	if healthy < 0 {
+		healthy = 0
+	}
+	eff := (a.opts.Depth*healthy + total - 1) / total
+	if min := a.minDepth(); eff < min {
+		eff = min
+	}
+	if eff > a.opts.Depth {
+		eff = a.opts.Depth
+	}
+	if eff == a.eff {
+		return
+	}
+	if eff < a.eff {
+		a.stats.Shrinks++
+	}
+	a.eff = eff
+	a.q.SetCapacity(eff)
+}
+
+// EffectiveDepth returns the current health-scaled admission bound
+// (== Depth until ObserveHealth reports degraded capacity).
+func (a *AdmissionQueue) EffectiveDepth() int { return a.eff }
+
+// minDepth returns the configured floor (default 1).
+func (a *AdmissionQueue) minDepth() int {
+	if a.opts.MinDepth > 0 {
+		return a.opts.MinDepth
+	}
+	return 1
+}
 
 // expired reports whether item's deadline lapsed by now.
 func (a *AdmissionQueue) expired(item Item, now time.Duration) bool {

@@ -55,6 +55,14 @@ type BatchTarget struct {
 	timeline   *trace.Timeline
 	assembly   BatchAssembly
 	batches    int
+	// carry holds items re-enqueued by an injected batch failure
+	// (fault.BatchOOM): they seed the next batch ahead of fresh pulls,
+	// keeping delivery order close to arrival order. carryPulls keeps
+	// their original DispatchedAt instants.
+	carry      []Item
+	carryPulls []time.Duration
+	onRequeue  func(item Item, at time.Duration)
+	oomSplits  int
 }
 
 // NewCPUTarget builds the Caffe-MKL target.
@@ -117,6 +125,19 @@ func (t *BatchTarget) SetAssembly(a BatchAssembly) {
 // after the run completes.
 func (t *BatchTarget) Batches() int { return t.batches }
 
+// OOMSplits returns how many batch submissions failed with an
+// injected allocator error and were split-and-retried. Valid after
+// the run completes.
+func (t *BatchTarget) OOMSplits() int { return t.oomSplits }
+
+// SetRetryObserver registers fn to observe every item re-enqueued by
+// an injected batch failure (fault.BatchOOM) — wire it to
+// Collector.NoteRetry so the session's retry accounting covers batch
+// engines too. Call before Start.
+func (t *BatchTarget) SetRetryObserver(fn func(item Item, at time.Duration)) {
+	t.onRequeue = fn
+}
+
 // Name implements Target.
 func (t *BatchTarget) Name() string { return t.name }
 
@@ -140,20 +161,28 @@ func (t *BatchTarget) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 		batch := make([]Item, 0, t.batchSize)
 		pulls := make([]time.Duration, 0, t.batchSize)
 		open := true
-		for open {
+		for open || len(t.carry) > 0 {
 			batch = batch[:0]
 			pulls = pulls[:0]
-			// An idle device waits as long as it takes for the first
-			// item; the max-wait clock only runs once a batch is open.
-			item, ok := src.Next(p)
-			if !ok {
-				break
+			if len(t.carry) > 0 {
+				// Items re-enqueued by a failed submission go first.
+				batch = append(batch, t.carry...)
+				pulls = append(pulls, t.carryPulls...)
+				t.carry = t.carry[:0]
+				t.carryPulls = t.carryPulls[:0]
+			} else {
+				// An idle device waits as long as it takes for the first
+				// item; the max-wait clock only runs once a batch is open.
+				item, ok := src.Next(p)
+				if !ok {
+					break
+				}
+				batch = append(batch, item)
+				pulls = append(pulls, p.Now())
 			}
-			batch = append(batch, item)
-			pulls = append(pulls, p.Now())
 			size := t.batchSize
 			if t.assembly.Adaptive && hasDepth {
-				if want := 1 + depth.Pending(); want < size {
+				if want := len(batch) + depth.Pending(); want < size {
 					size = want
 				}
 			}
@@ -181,6 +210,27 @@ func (t *BatchTarget) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 				// The pull instant is when the item joined the
 				// assembling batch — its DispatchedAt.
 				pulls = append(pulls, p.Now())
+			}
+			// An injected allocator failure (fault.BatchOOM) fails the
+			// submission: the target splits and retries — the first
+			// ⌈b/2⌉ items run as a smaller batch now, the failed half is
+			// re-enqueued ahead of the next gather, so items are delayed
+			// but never lost. A single-item batch cannot split (the
+			// fault is a capacity fault) and runs unharmed.
+			if fb, ok := t.engine.(interface{ TakeBatchFailure() bool }); ok && len(batch) > 1 && fb.TakeBatchFailure() {
+				keep := (len(batch) + 1) / 2
+				t.carry = append(t.carry, batch[keep:]...)
+				t.carryPulls = append(t.carryPulls, pulls[keep:]...)
+				if t.onRequeue != nil {
+					for _, it := range batch[keep:] {
+						t.onRequeue(it, p.Now())
+					}
+				}
+				t.timeline.Add(t.name, trace.Fault, p.Now(), p.Now(),
+					fmt.Sprintf("batch-oom: %d of %d re-enqueued", len(batch)-keep, len(batch)))
+				batch = batch[:keep]
+				pulls = pulls[:keep]
+				t.oomSplits++
 			}
 			start := p.Now()
 			d := t.engine.NextBatchDuration(len(batch))

@@ -344,6 +344,14 @@ type Collector struct {
 	FaultDrops int
 	// Retries counts fault-triggered redeliveries (NoteRetry).
 	Retries int
+	// Hedged counts speculative duplicates launched, HedgeWins
+	// completions where the duplicate beat the primary copy, and
+	// HedgeWaste losing completions discarded after a device fully
+	// served them — a cancelled-in-queue loser is neither a win nor
+	// waste (NoteHedge, NoteHedgeWin, NoteHedgeWaste). Discarded
+	// losers never reach the result aggregates: N counts each item at
+	// most once.
+	Hedged, HedgeWins, HedgeWaste int
 	// Outages counts detected device outages, Repaired those that
 	// ended in a successful recovery; Downtime accumulates
 	// detection-to-rejoin time across repaired outages (NoteOutage).
@@ -415,6 +423,30 @@ func (c *Collector) NoteDrop(reason DropReason) {
 // NoteRetry records one fault-triggered redelivery — wire it to
 // RecoveryConfig's OnRetry.
 func (c *Collector) NoteRetry() { c.Retries++ }
+
+// NoteHedge records one launched hedge duplicate — wire it to
+// HedgeConfig's OnHedge.
+func (c *Collector) NoteHedge() { c.Hedged++ }
+
+// NoteHedgeWin records one completion where the duplicate finished
+// first — wire it to HedgeConfig's OnWin.
+func (c *Collector) NoteHedgeWin() { c.HedgeWins++ }
+
+// NoteHedgeWaste records one discarded losing completion (device time
+// spent on a duplicate) — wire it to HedgeConfig's OnWaste.
+func (c *Collector) NoteHedgeWaste() { c.HedgeWaste++ }
+
+// HedgeWasteRate returns wasted duplicate completions as a fraction
+// of all completions the devices produced (served results plus
+// discarded losers) — the extra device time hedging spent. 0 when
+// nothing completed.
+func (c *Collector) HedgeWasteRate() float64 {
+	total := c.N + c.HedgeWaste
+	if total == 0 {
+		return 0
+	}
+	return float64(c.HedgeWaste) / float64(total)
+}
 
 // NoteOutage records one detected device outage: from is the
 // detection instant, to the rejoin (recovered) or abandonment

@@ -78,7 +78,18 @@ type PoolOptions struct {
 	QueueDepth int
 	// OnResult, when set, observes every result with the index of the
 	// child that produced it — the hook per-group statistics hang off.
+	// Losing hedge duplicates are deduplicated before this hook: it
+	// sees each item at most once.
 	OnResult func(child int, r Result)
+	// Hedge configures speculative hedged requests across the
+	// children: an item in flight longer than the hedge trigger is
+	// duplicated onto a different healthy child, the first completion
+	// wins, and the loser is cancelled in-queue or discarded on
+	// completion (HedgeConfig). The zero value disables hedging and
+	// leaves runs bit-identical to pre-hedging behavior. Requires a
+	// dealt routing policy (not RouteWorkStealing, which has no
+	// per-child feeds to duplicate into) and at least two children.
+	Hedge HedgeConfig
 }
 
 // Pool is a Target over N child targets: a composite device group.
@@ -97,8 +108,19 @@ type Pool struct {
 	// does a down transition drain the child's feed back for
 	// re-dispatch (afterwards the bounded feed is left for the child to
 	// drain on rejoin, or for the stranded-item accounting if it never
-	// does).
+	// does). Hedge duplicates launch only while it is true: a duplicate
+	// placed after the shutdown sentinel could never be consumed.
 	dispatching bool
+	// hedge is the hedged-request engine of the current run (nil when
+	// PoolOptions.Hedge is disabled).
+	hedge *hedger
+	// healthObs are the pool's own health observers (SetHealthObserver):
+	// they see the aggregate healthy/total device counts across all
+	// children on every child transition.
+	healthObs []func(healthy, total int, at time.Duration)
+	// childHealthy/childTotal hold the latest per-child health report
+	// (initialized to full health at Start).
+	childHealthy, childTotal []int
 }
 
 // NewPool builds a device group over children.
@@ -123,6 +145,17 @@ func NewPool(children []Target, opts PoolOptions) (*Pool, error) {
 	}
 	if opts.QueueDepth < 0 {
 		return nil, fmt.Errorf("core: negative queue depth %d", opts.QueueDepth)
+	}
+	if err := opts.Hedge.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Hedge.Enabled() {
+		if opts.Routing == RouteWorkStealing {
+			return nil, fmt.Errorf("core: hedging needs per-child feeds to duplicate into; routing %v shares the source directly", opts.Routing)
+		}
+		if len(children) < 2 {
+			return nil, fmt.Errorf("core: hedging needs at least two children to duplicate across")
+		}
 	}
 	if opts.QueueDepth == 0 {
 		opts.QueueDepth = 2
@@ -156,6 +189,69 @@ func (pl *Pool) Children() []Target { return pl.children }
 // ChildJobs returns the per-child jobs of the last Start. Valid after
 // Start; fields settle once Env.Run returns.
 func (pl *Pool) ChildJobs() []*Job { return pl.jobs }
+
+// DeviceCount reports how many devices the group drives, summed
+// recursively across children (non-reporting children count as one) —
+// the capacity denominator health-aware admission scales against.
+func (pl *Pool) DeviceCount() int {
+	n := 0
+	for _, c := range pl.children {
+		n += targetDeviceCount(c)
+	}
+	return n
+}
+
+// targetDeviceCount returns a target's device count when it reports
+// one (VPUTarget, nested Pool), else 1.
+func targetDeviceCount(t Target) int {
+	if dc, ok := t.(interface{ DeviceCount() int }); ok {
+		return dc.DeviceCount()
+	}
+	return 1
+}
+
+// SetHealthObserver implements HealthAware for the group as a whole:
+// fn sees the aggregate (healthy, total) device counts across every
+// child on each child health transition, in virtual time. Observers
+// accumulate — a parent pool and a health-aware admission queue can
+// both subscribe. Register before Start; children that are not
+// HealthAware count as permanently healthy.
+func (pl *Pool) SetHealthObserver(fn func(healthy, total int, at time.Duration)) {
+	pl.healthObs = append(pl.healthObs, fn)
+}
+
+// HedgeItemLost arbitrates a child-internal item loss under
+// pool-level hedging: it reports whether the loss should be counted
+// as a dropped item. A child's recovery pipeline cannot see the
+// pool's hedge state, so whoever wires the children's
+// RecoveryConfig.OnDrop must route it through here before counting
+// the drop — a lost duplicate whose other copy is still in flight
+// (or already delivered) is not a loss, and a real loss disarms the
+// item's hedge timer so a recorded drop cannot later be resurrected
+// into a double-counted completion. Without pool-level hedging it
+// always reports true.
+func (pl *Pool) HedgeItemLost(index int) bool {
+	if pl.hedge == nil {
+		return true
+	}
+	return pl.hedge.copyLost(index, -1)
+}
+
+// notifyHealth publishes the aggregate health to the pool's own
+// observers.
+func (pl *Pool) notifyHealth(at time.Duration) {
+	if len(pl.healthObs) == 0 {
+		return
+	}
+	var healthy, total int
+	for i := range pl.childTotal {
+		healthy += pl.childHealthy[i]
+		total += pl.childTotal[i]
+	}
+	for _, fn := range pl.healthObs {
+		fn(healthy, total, at)
+	}
+}
 
 // childFeed is the per-child source fed by the pool dispatcher.
 type childFeed struct {
@@ -235,7 +331,9 @@ func (pl *Pool) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 			// (cheap enough to keep warm under every policy). A batch
 			// result's span covers the whole batch, so the estimate is
 			// an upper bound per item — conservative for batch
-			// children, exact for per-item ones.
+			// children, exact for per-item ones. Losing hedge
+			// duplicates still update the estimate (the child did the
+			// work) but never reach the sink.
 			if obs := r.ServiceTime().Seconds(); obs > 0 {
 				if ewma[i] == 0 {
 					ewma[i] = obs
@@ -243,6 +341,13 @@ func (pl *Pool) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 					ewma[i] = ewmaAlpha*obs + (1-ewmaAlpha)*ewma[i]
 				}
 			}
+			if pl.hedge != nil && !pl.hedge.complete(r.Index, i, r.End) {
+				return // discarded losing duplicate
+			}
+			// The pool counts delivered results, not raw child work:
+			// with hedging the two differ by the discarded losers
+			// (child jobs still carry their own totals).
+			job.Images++
 			if pl.opts.OnResult != nil {
 				pl.opts.OnResult(i, r)
 			}
@@ -277,11 +382,55 @@ func (pl *Pool) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 	// the child's error is on its job and the pool's, so the loss is
 	// never silent.
 	feeds := make([]*sim.Queue[Item], n)
+	dealt := make([]int, n)
 	var orphans []Item
 	done := sim.NewQueue[int](env, "pool/join", 0)
 	upstream, _ := src.(DepthSource)
 	pl.down = make([]bool, n)
 	pl.dispatching = false
+	pl.childHealthy = make([]int, n)
+	pl.childTotal = make([]int, n)
+
+	// Hedged requests: a timer per dispatched item duplicates it onto
+	// a different healthy child when it ages past the trigger; the
+	// dedup in childSink delivers the first completion and discards
+	// the loser. Disabled (nil) hedging adds no timers, so the event
+	// sequence — and therefore every result — is bit-identical to a
+	// pool without the feature.
+	pl.hedge = nil
+	if pl.opts.Hedge.Enabled() {
+		redispatch := func(item Item, exclude int) (int, bool) {
+			if !pl.dispatching {
+				return 0, false // a duplicate behind the shutdown sentinel would never be served
+			}
+			for off := 1; off < n; off++ {
+				j := (exclude + off) % n
+				if feeds[j] == nil || pl.jobs[j].done || pl.down[j] {
+					continue
+				}
+				if feeds[j].TryPut(item) {
+					dealt[j]++
+					return j, true
+				}
+			}
+			return 0, false
+		}
+		cancelCopy := func(index, child int) bool {
+			if child < 0 || child >= n || feeds[child] == nil {
+				return false
+			}
+			_, ok := feeds[child].RemoveWhere(func(it Item) bool { return it.Index == index })
+			if ok {
+				// The withdrawn copy will never complete: take back its
+				// dealt count, or the child would carry a phantom
+				// outstanding item in the routing scores forever.
+				dealt[child]--
+			}
+			return ok
+		}
+		pl.hedge = newHedger(env, pl.opts.Hedge, redispatch, cancelCopy)
+	}
+
 	for i, c := range pl.children {
 		var csrc Source
 		if pl.opts.Routing == RouteWorkStealing {
@@ -290,18 +439,26 @@ func (pl *Pool) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 			feeds[i] = sim.NewQueue[Item](env, fmt.Sprintf("pool/feed%d", i), pl.opts.QueueDepth)
 			csrc = &childFeed{q: feeds[i], upstream: upstream}
 		}
+		pl.childTotal[i] = targetDeviceCount(c)
+		pl.childHealthy[i] = pl.childTotal[i]
 		// Health-aware failover: a child reporting no healthy device is
 		// routed around (weight zero) and, while dealing is live, its
 		// bounded feed is drained back to the dispatcher for
 		// re-dispatch; it rejoins the deal on the first healthy report.
+		// Every transition also updates the pool's aggregate health,
+		// which the pool republishes to its own observers
+		// (SetHealthObserver) — the feed health-aware admission
+		// subscribes to.
 		if ha, ok := c.(HealthAware); ok {
 			i := i
-			ha.SetHealthObserver(func(healthy, _ int, _ time.Duration) {
+			ha.SetHealthObserver(func(healthy, total int, at time.Duration) {
+				pl.childHealthy[i], pl.childTotal[i] = healthy, total
 				wasDown := pl.down[i]
 				pl.down[i] = healthy == 0
 				if pl.down[i] && !wasDown && pl.dispatching && feeds[i] != nil {
 					orphans = append(orphans, drainFeed(feeds[i])...)
 				}
+				pl.notifyHealth(at)
 			})
 		}
 		cj := c.Start(env, csrc, childSink(i))
@@ -322,17 +479,23 @@ func (pl *Pool) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 			pl.shutdownFeeds(p, feeds)
 		} else if pl.opts.Routing != RouteWorkStealing {
 			pl.dispatching = true
-			pl.dispatch(p, src, feeds, &orphans, completed, ewma, total)
+			pl.dispatch(p, src, feeds, dealt, &orphans, completed, ewma, total)
 			pl.dispatching = false
 		}
 		// Join every child, then aggregate.
 		for range pl.children {
 			done.Get(p)
 		}
+		// Hedge arbitration before the stranded-item accounting: a
+		// reclaimed duplicate whose other copy was served is not
+		// stranded work, and an item with both copies stranded counts
+		// once, not twice.
+		if pl.hedge != nil {
+			orphans = pl.hedge.filterLost(orphans)
+		}
 		var ready time.Duration
 		readySet := false
 		for i, cj := range pl.jobs {
-			job.Images += cj.Images
 			if cj.Err != nil && job.Err == nil {
 				job.Err = fmt.Errorf("core: pool child %s: %w", pl.children[i].Name(), cj.Err)
 			}
@@ -353,9 +516,8 @@ func (pl *Pool) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 // dispatch pulls items from src and deals them to the child feeds
 // according to the routing policy, re-routing items reclaimed from
 // children that shut down early, then closes every feed.
-func (pl *Pool) dispatch(p *sim.Proc, src Source, feeds []*sim.Queue[Item], orphans *[]Item, completed []int, ewma []float64, total int) {
+func (pl *Pool) dispatch(p *sim.Proc, src Source, feeds []*sim.Queue[Item], dealt []int, orphans *[]Item, completed []int, ewma []float64, total int) {
 	n := len(feeds)
-	dealt := make([]int, n)
 
 	// splitEnds[i] is the exclusive end of child i's contiguous block
 	// under RouteStatic: weighted largest-remainder apportionment.
@@ -366,6 +528,11 @@ func (pl *Pool) dispatch(p *sim.Proc, src Source, feeds []*sim.Queue[Item], orph
 
 	k := 0
 	deliver := func(item Item) bool {
+		// A reclaimed duplicate of an item already served through its
+		// other copy is quietly forgotten, not re-served.
+		if pl.hedge != nil && pl.hedge.settled(item.Index) {
+			return true
+		}
 		var target int
 		var ok bool
 		switch pl.opts.Routing {
@@ -386,6 +553,9 @@ func (pl *Pool) dispatch(p *sim.Proc, src Source, feeds []*sim.Queue[Item], orph
 			return false
 		}
 		k++
+		if pl.hedge != nil {
+			pl.hedge.track(item, target, p.Now())
+		}
 		// If the target died while we were blocked on its full feed,
 		// the item (and anything else queued there) is stranded —
 		// reclaim it for re-routing.
@@ -418,7 +588,11 @@ func (pl *Pool) dispatch(p *sim.Proc, src Source, feeds []*sim.Queue[Item], orph
 	}
 	// When !alive every child has shut down (their errors are on
 	// their jobs) and any remaining items are dropped; the pool job
-	// carries the first error.
+	// carries the first error. Dealing ends *before* the sentinels
+	// post: a hedge timer firing while a sentinel Put blocks must not
+	// slip a duplicate behind a sentinel already delivered to another
+	// feed, where no child would ever serve it.
+	pl.dispatching = false
 	pl.shutdownFeeds(p, feeds)
 }
 

@@ -92,10 +92,13 @@ func (rc RecoveryConfig) attempts() int {
 }
 
 // HealthAware is implemented by targets that monitor their devices'
-// health. The observer is called in virtual time on every transition
-// with the current healthy and total device counts; a Pool subscribes
-// so it can route around children with no healthy device left and
-// deal them work again when they rejoin.
+// health. Observers are called in virtual time on every transition
+// with the current healthy and total device counts. Registration
+// accumulates: every registered observer sees every subsequent
+// transition, so a Pool (failover routing) and an AdmissionQueue
+// (health-scaled depth) can subscribe to the same target. Register
+// before the target starts; with health monitoring disabled (no
+// RecoveryConfig) observers never fire.
 type HealthAware interface {
 	SetHealthObserver(fn func(healthy, total int, at time.Duration))
 }
@@ -119,6 +122,15 @@ type VPUOptions struct {
 	// Recovery configures health monitoring and self-healing (zero
 	// value = disabled, the pre-fault behavior).
 	Recovery RecoveryConfig
+	// Hedge configures speculative hedged requests across the sticks:
+	// an item in flight (queued or executing) longer than the hedge
+	// trigger is duplicated onto a different live worker, the first
+	// completion wins, and the loser is withdrawn from its queue or
+	// discarded on completion. The zero value disables hedging and
+	// leaves runs bit-identical to pre-hedging behavior; with a single
+	// device the option is inert (there is no second worker to
+	// duplicate onto).
+	Hedge HedgeConfig
 	// Timeline receives Fig. 4 spans when set.
 	Timeline *trace.Timeline
 }
@@ -147,9 +159,13 @@ type VPUTarget struct {
 	blob    []byte
 	opts    VPUOptions
 
-	// Health state of the current run (reset by Start).
-	healthObs func(healthy, total int, at time.Duration)
+	// Health state of the current run (downCount is reset by Start;
+	// observers persist across the target's lifetime).
+	healthObs []func(healthy, total int, at time.Duration)
 	downCount int
+	// hedge is the hedged-request engine of the current run (nil when
+	// VPUOptions.Hedge is disabled or the target has one device).
+	hedge *hedger
 }
 
 // NewVPUTarget builds the target. blob is the compiled graph file
@@ -169,6 +185,9 @@ func NewVPUTarget(devices []*ncs.Device, blob []byte, opts VPUOptions) (*VPUTarg
 	}
 	if opts.Recovery.MaxAttempts < 0 {
 		return nil, fmt.Errorf("core: negative recovery attempt budget %d", opts.Recovery.MaxAttempts)
+	}
+	if err := opts.Hedge.Validate(); err != nil {
+		return nil, err
 	}
 	if opts.Timeline == nil {
 		opts.Timeline = trace.Disabled()
@@ -190,24 +209,31 @@ func (t *VPUTarget) TDPWatts() float64 {
 // Devices returns the managed devices.
 func (t *VPUTarget) Devices() []*ncs.Device { return t.devices }
 
-// SetHealthObserver implements HealthAware.
+// DeviceCount reports how many sticks the target drives — the
+// capacity denominator health-aware routing and admission scale
+// against.
+func (t *VPUTarget) DeviceCount() int { return len(t.devices) }
+
+// SetHealthObserver implements HealthAware. Observers accumulate:
+// each registered fn sees every subsequent health transition.
 func (t *VPUTarget) SetHealthObserver(fn func(healthy, total int, at time.Duration)) {
-	t.healthObs = fn
+	t.healthObs = append(t.healthObs, fn)
 }
 
 // noteDown/noteUp track device health transitions and notify the
-// observer (the Pool's failover routing hangs off this).
+// observers (the Pool's failover routing and health-aware admission
+// hang off this).
 func (t *VPUTarget) noteDown(at time.Duration) {
 	t.downCount++
-	if t.healthObs != nil {
-		t.healthObs(len(t.devices)-t.downCount, len(t.devices), at)
+	for _, fn := range t.healthObs {
+		fn(len(t.devices)-t.downCount, len(t.devices), at)
 	}
 }
 
 func (t *VPUTarget) noteUp(at time.Duration) {
 	t.downCount--
-	if t.healthObs != nil {
-		t.healthObs(len(t.devices)-t.downCount, len(t.devices), at)
+	for _, fn := range t.healthObs {
+		fn(len(t.devices)-t.downCount, len(t.devices), at)
 	}
 }
 
@@ -256,6 +282,40 @@ func (t *VPUTarget) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 		dead := make([]bool, n)
 		var orphans []Item
 		done := sim.NewQueue[int](env, "ncsw/join", 0)
+
+		// Hedged requests: a timer per dispatched item duplicates it
+		// onto a different live worker when it ages past the trigger;
+		// the dedup below delivers the first completion and discards
+		// the loser. Disabled (or single-stick) hedging adds no timers,
+		// so the event sequence is bit-identical to pre-hedging runs.
+		dispatching := true
+		t.hedge = nil
+		if t.opts.Hedge.Enabled() && n > 1 {
+			redispatch := func(item Item, exclude int) (int, bool) {
+				if !dispatching {
+					return 0, false // a duplicate behind the shutdown sentinel would never be served
+				}
+				for off := 1; off < n; off++ {
+					j := (exclude + off) % n
+					if dead[j] {
+						continue
+					}
+					if queues[j].TryPut(item) {
+						return j, true
+					}
+				}
+				return 0, false
+			}
+			cancelCopy := func(index, child int) bool {
+				if child < 0 || child >= n || dead[child] {
+					return false
+				}
+				_, ok := queues[child].RemoveWhere(func(it Item) bool { return it.Index == index })
+				return ok
+			}
+			t.hedge = newHedger(env, t.opts.Hedge, redispatch, cancelCopy)
+		}
+
 		for i := range t.devices {
 			i := i
 			env.Process(fmt.Sprintf("ncsw-worker%d", i), func(wp *sim.Proc) {
@@ -273,6 +333,11 @@ func (t *VPUTarget) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 		// workers are skipped and their reclaimed items re-dispatched
 		// to survivors.
 		deliver := func(item Item, k int) bool {
+			// A reclaimed duplicate of an item already served through
+			// its other copy is quietly forgotten, not re-served.
+			if t.hedge != nil && t.hedge.settled(item.Index) {
+				return true
+			}
 			var j int
 			var ok bool
 			if t.opts.Scheduling == Dynamic {
@@ -286,6 +351,9 @@ func (t *VPUTarget) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 				// or job.Err) sees it — the loss is never silent.
 				orphans = append(orphans, item)
 				return false
+			}
+			if t.hedge != nil {
+				t.hedge.track(item, j, p.Now())
 			}
 			// The worker may have died while we were blocked on its
 			// full queue; reclaim anything stranded there.
@@ -319,6 +387,7 @@ func (t *VPUTarget) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 			alive = deliver(item, k)
 			k++
 		}
+		dispatching = false // no hedge may launch behind the shutdown sentinels
 		for i := range queues {
 			if !dead[i] {
 				queues[i].Put(p, Item{Index: -1}) // per-worker shutdown
@@ -334,6 +403,12 @@ func (t *VPUTarget) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 			done.Get(p)
 		}
 		tl.Add("main", trace.Join, joinStart, p.Now(), "")
+		// Hedge arbitration before the loss accounting: a reclaimed
+		// duplicate whose other copy was served is not stranded work,
+		// and an item with both copies stranded is one loss, not two.
+		if t.hedge != nil {
+			orphans = t.hedge.filterLost(orphans)
+		}
 		if len(orphans) > 0 {
 			if t.opts.Recovery.OnDrop != nil {
 				for _, it := range orphans {
@@ -420,8 +495,15 @@ func (t *VPUTarget) worker(p *sim.Proc, dev *ncs.Device, graphs []*ncs.Graph, wi
 
 	// dropItem accounts one item lost to device failure. Without an
 	// OnDrop observer the loss surfaces on the job error instead —
-	// like the stranded-orphans path, it is never silent.
+	// like the stranded-orphans path, it is never silent. With hedging
+	// armed, the hedger arbitrates first: a lost duplicate whose other
+	// copy is still in flight (or already delivered) is not a loss,
+	// and a real loss disarms the item's hedge timer so a recorded
+	// drop cannot be resurrected into a double-counted completion.
 	dropItem := func(item Item) {
+		if t.hedge != nil && !t.hedge.copyLost(item.Index, wi) {
+			return
+		}
 		if rc.OnDrop != nil {
 			rc.OnDrop(item, p.Now())
 		} else if job.Err == nil {
@@ -453,6 +535,11 @@ func (t *VPUTarget) worker(p *sim.Proc, dev *ncs.Device, graphs []*ncs.Graph, wi
 		p.Sleep(t.opts.HostOverhead)
 		tl.Add(dev.Name(), trace.Read, readStart, p.Now(), "")
 		if rc.enabled() && errors.Is(res.Err, ncs.ErrTransient) {
+			// A failed duplicate of an item already served through its
+			// other copy is dropped quietly — no retry, no loss.
+			if t.hedge != nil && t.hedge.settled(fl.item.Index) {
+				return emitRetry
+			}
 			// Recoverable single-inference failure: redeliver within the
 			// budget instead of surfacing a broken result.
 			if fl.attempts < rc.attempts() {
@@ -480,8 +567,13 @@ func (t *VPUTarget) worker(p *sim.Proc, dev *ncs.Device, graphs []*ncs.Graph, wi
 			pred, conf := res.Output.ArgMax()
 			r.Pred, r.Confidence, r.Output = pred, conf, res.Output
 		}
-		sink(r)
-		job.Images++
+		// First-completion dedup: a losing hedge duplicate is discarded
+		// here, so each item reaches the sink (and Job.Images) at most
+		// once.
+		if t.hedge == nil || t.hedge.complete(fl.item.Index, wi, p.Now()) {
+			sink(r)
+			job.Images++
+		}
 		return emitOK
 	}
 
@@ -495,6 +587,11 @@ func (t *VPUTarget) worker(p *sim.Proc, dev *ncs.Device, graphs []*ncs.Graph, wi
 		victims := pending
 		pending = nil
 		for _, v := range victims {
+			// A duplicate whose other copy already completed is neither
+			// retried nor counted as a loss.
+			if t.hedge != nil && t.hedge.settled(v.item.Index) {
+				continue
+			}
 			if rc.Recover && v.attempts < rc.attempts() {
 				retry = append(retry, v)
 				if rc.OnRetry != nil {
@@ -528,6 +625,9 @@ func (t *VPUTarget) worker(p *sim.Proc, dev *ncs.Device, graphs []*ncs.Graph, wi
 		// deadlock the simulation, and exit; the dispatcher reclaims
 		// whatever is still queued for this worker.
 		for _, v := range retry {
+			if t.hedge != nil && t.hedge.settled(v.item.Index) {
+				continue
+			}
 			dropItem(v.item)
 		}
 		retry = nil
@@ -556,11 +656,17 @@ func (t *VPUTarget) worker(p *sim.Proc, dev *ncs.Device, graphs []*ncs.Graph, wi
 		case len(retry) > 0:
 			fl = retry[0]
 			retry = retry[1:]
+			if t.hedge != nil && t.hedge.settled(fl.item.Index) {
+				continue // the other copy won while this one waited for redelivery
+			}
 		case !feedDone:
 			item := q.Get(p)
 			if item.Index == -1 {
 				feedDone = true
 				continue
+			}
+			if t.hedge != nil && t.hedge.settled(item.Index) {
+				continue // a duplicate whose other copy already completed
 			}
 			fl = inflight{item: item}
 		case len(pending) > 0:

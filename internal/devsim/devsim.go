@@ -156,6 +156,7 @@ type CPU struct {
 	images  int64
 	busy    time.Duration
 	slow    float64 // fault-injected straggler factor (<=1 = none)
+	oom     int     // fault-injected pending batch failures
 }
 
 // InjectSlowdown stretches every subsequent batch ×factor — the
@@ -169,6 +170,27 @@ func (c *CPU) InjectSlowdown(factor float64) {
 
 // ClearSlowdown ends a straggler window.
 func (c *CPU) ClearSlowdown() { c.slow = 0 }
+
+// InjectBatchFailures makes the next n batch submissions fail with an
+// OOM-style allocator error — the batch-engine fault hook
+// internal/fault drives (fault.BatchOOM). The consuming target splits
+// the failed batch and retries (core.BatchTarget).
+func (c *CPU) InjectBatchFailures(n int) {
+	if n > 0 {
+		c.oom += n
+	}
+}
+
+// TakeBatchFailure consumes one pending injected batch failure,
+// reporting whether the next submission should fail. Deterministic:
+// failures fire in submission order, exactly as many as injected.
+func (c *CPU) TakeBatchFailure() bool {
+	if c.oom > 0 {
+		c.oom--
+		return true
+	}
+	return false
+}
 
 // NewCPU builds a CPU engine for the workload.
 func NewCPU(cfg CPUConfig, w Workload, seed *rng.Source) (*CPU, error) {
@@ -223,6 +245,7 @@ type GPU struct {
 	images  int64
 	busy    time.Duration
 	slow    float64 // fault-injected straggler factor (<=1 = none)
+	oom     int     // fault-injected pending batch failures
 }
 
 // InjectSlowdown stretches every subsequent batch ×factor (straggler
@@ -235,6 +258,25 @@ func (g *GPU) InjectSlowdown(factor float64) {
 
 // ClearSlowdown ends a straggler window.
 func (g *GPU) ClearSlowdown() { g.slow = 0 }
+
+// InjectBatchFailures makes the next n batch submissions fail with an
+// OOM-style allocator error (fault.BatchOOM) — cudaMalloc failing on
+// a fragmented device is the canonical incident.
+func (g *GPU) InjectBatchFailures(n int) {
+	if n > 0 {
+		g.oom += n
+	}
+}
+
+// TakeBatchFailure consumes one pending injected batch failure,
+// reporting whether the next submission should fail.
+func (g *GPU) TakeBatchFailure() bool {
+	if g.oom > 0 {
+		g.oom--
+		return true
+	}
+	return false
+}
 
 // NewGPU builds a GPU engine for the workload.
 func NewGPU(cfg GPUConfig, w Workload, seed *rng.Source) (*GPU, error) {

@@ -44,6 +44,13 @@ const (
 	// Slowdown stretches a device's service time ×Factor for a window —
 	// the straggler fault (thermal trouble, a flaky link retrying).
 	Slowdown
+	// BatchOOM makes a batch engine's next Count submissions fail with
+	// an OOM-style allocator error (cudaMalloc on a fragmented GPU,
+	// the MKL arena on an overcommitted host). The consuming
+	// core.BatchTarget splits the failed batch — the first half runs,
+	// the failed half is re-enqueued — so items are delayed, never
+	// lost, and no serving-side recovery is needed.
+	BatchOOM
 )
 
 // String names the kind.
@@ -57,6 +64,8 @@ func (k Kind) String() string {
 		return "transient"
 	case Slowdown:
 		return "slowdown"
+	case BatchOOM:
+		return "batch-oom"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -80,6 +89,10 @@ type (
 		InjectSlowdown(factor float64)
 		ClearSlowdown()
 	}
+	// OOMer is implemented by batch engines whose next submissions can
+	// fail allocator-style (devsim.CPU, devsim.GPU) — the BatchOOM
+	// hook.
+	OOMer interface{ InjectBatchFailures(n int) }
 )
 
 // Event is one scripted fault.
@@ -96,7 +109,8 @@ type Event struct {
 	// Factor is the Slowdown service-time multiplier (required > 1 for
 	// Slowdown, ignored otherwise).
 	Factor float64
-	// Count is how many inferences a TransientError fails (default 1).
+	// Count is how many inferences a TransientError fails, or how many
+	// batch submissions a BatchOOM fails (default 1).
 	Count int
 }
 
@@ -164,7 +178,7 @@ func (pl Plan) Validate() error {
 		if e.At < 0 {
 			return fmt.Errorf("fault: event %d at negative instant %v", i, e.At)
 		}
-		if e.Kind < StickHang || e.Kind > Slowdown {
+		if e.Kind < StickHang || e.Kind > BatchOOM {
 			return fmt.Errorf("fault: event %d has unknown kind %v", i, e.Kind)
 		}
 		if e.Kind == Slowdown && (e.Factor <= 1 || e.Duration <= 0) {
@@ -186,7 +200,7 @@ func (pl Plan) Validate() error {
 			return fmt.Errorf("fault: process %d window [%v, %v) is not a finite forward window", i, p.Start, p.End)
 		}
 		for _, k := range p.Kinds {
-			if k < StickHang || k > Slowdown {
+			if k < StickHang || k > BatchOOM {
 				return fmt.Errorf("fault: process %d has unknown kind %v", i, k)
 			}
 		}
@@ -224,6 +238,10 @@ func (r Registry) supports(name string, kind Kind) bool {
 			if _, ok := h.(Slower); ok {
 				return true
 			}
+		case BatchOOM:
+			if _, ok := h.(OOMer); ok {
+				return true
+			}
 		}
 	}
 	return false
@@ -247,7 +265,7 @@ func (in Injection) String() string {
 	switch in.Kind {
 	case Slowdown:
 		return fmt.Sprintf("%v %s ×%g on %s until %v", in.At, in.Kind, in.Factor, in.Device, in.Until)
-	case TransientError:
+	case TransientError, BatchOOM:
 		return fmt.Sprintf("%v %s ×%d on %s", in.At, in.Kind, in.Count, in.Device)
 	}
 	return fmt.Sprintf("%v %s on %s", in.At, in.Kind, in.Device)
@@ -385,6 +403,17 @@ func inject(p *sim.Proc, reg Registry, e Event, slowGen map[string]int) Injectio
 		for _, h := range hooks {
 			if hh, ok := h.(Erratic); ok {
 				hh.InjectTransientErrors(n)
+			}
+		}
+	case BatchOOM:
+		n := e.Count
+		if n == 0 {
+			n = 1
+		}
+		inj.Count = n
+		for _, h := range hooks {
+			if hh, ok := h.(OOMer); ok {
+				hh.InjectBatchFailures(n)
 			}
 		}
 	case Slowdown:

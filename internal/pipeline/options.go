@@ -123,6 +123,34 @@ func WithAdmission(depth int, policy core.OverloadPolicy) Option {
 	return func(c *Config) { c.AdmissionDepth = depth; c.AdmissionPolicy = policy }
 }
 
+// WithAdmissionShrink extends the bounded ingress (WithAdmission)
+// with health-aware depth: the admission queue subscribes to device
+// health and shrinks its effective depth proportionally to healthy
+// capacity — ceil(depth × healthy/total), floored at minDepth (0 = 1)
+// — so during an outage queued work cannot all expire waiting for
+// devices that are gone, and the full bound restores on rejoin.
+// Already-queued items are never evicted; new arrivals meet the
+// smaller bound. Needs WithAdmission; health transitions come from
+// the recovery monitor, so without WithRecovery (or a lethal fault
+// plan's default) the bound never moves.
+func WithAdmissionShrink(minDepth int) Option {
+	return func(c *Config) { c.AdmissionShrink = true; c.AdmissionMinDepth = minDepth }
+}
+
+// WithHedging arms speculative hedged requests (the tail-at-scale
+// defense): an item in flight longer than the hedge trigger — a fixed
+// delay, or a live latency quantile once warm — is duplicated onto a
+// different healthy device group (for a lone multi-stick VPU group, a
+// different stick), the first completion wins, and the loser is
+// withdrawn from its queue or discarded on completion. Results are
+// deduplicated before every collector and hook, and the report gains
+// hedge accounting (launched, wins, wasted completions). A zero
+// HedgeConfig disables hedging; core.HedgeNever arms it without ever
+// firing — bit-identical to disabled, the experiment control.
+func WithHedging(hc core.HedgeConfig) Option {
+	return func(c *Config) { c.Hedge = hc }
+}
+
 // WithAdaptiveBatching makes every CPU/GPU group assemble batches
 // adaptively: batch size tracks the observed backlog (between 1 and
 // the group's configured batch size) and a partial batch closes at

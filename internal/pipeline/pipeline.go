@@ -168,6 +168,24 @@ type Config struct {
 	// AdmissionPolicy selects the overload behavior of the bounded
 	// ingress (default core.ShedNewest).
 	AdmissionPolicy core.OverloadPolicy
+	// AdmissionShrink subscribes the bounded ingress to device-pool
+	// health: during an outage the effective admission depth shrinks
+	// proportionally to healthy capacity (so queued work cannot all
+	// expire waiting for devices that are gone) and restores on
+	// rejoin. Needs AdmissionDepth > 0; without health monitoring
+	// (Recovery/Faults) it never fires and is inert.
+	AdmissionShrink bool
+	// AdmissionMinDepth floors the health-shrunk effective depth
+	// (0 = 1). Only meaningful with AdmissionShrink.
+	AdmissionMinDepth int
+	// Hedge arms speculative hedged requests (core.HedgeConfig): an
+	// item in flight past the hedge trigger is duplicated onto a
+	// different healthy device group (or, for a single multi-stick VPU
+	// group, a different stick), the first completion wins, and the
+	// loser is cancelled or discarded with full dedup accounting. The
+	// zero value disables hedging and keeps runs bit-identical to
+	// pre-hedging sessions.
+	Hedge core.HedgeConfig
 	// BatchMaxWait bounds batch assembly on every CPU/GPU group: a
 	// partial batch closes when no further item arrives within the
 	// wait. 0 keeps the classic fill-to-batch-size gather.
@@ -217,6 +235,10 @@ type Session struct {
 	admission *core.AdmissionQueue
 	registry  fault.Registry // device name -> injection hooks
 	faultLog  *fault.Log
+	// pool is the device-group composite of the current run (nil for
+	// single-group sessions); the recovery drop hooks consult its
+	// hedge state so a lost duplicate is not miscounted as a loss.
+	pool *core.Pool
 	// merged/perGroup are set by Run before the simulation starts, so
 	// the recovery hooks installed at build time can reach them.
 	merged   *core.Collector
@@ -364,6 +386,25 @@ func validate(cfg *Config) error {
 	if cfg.AdmissionPolicy < core.ShedNewest || cfg.AdmissionPolicy > core.Block {
 		return fmt.Errorf("pipeline: unknown admission policy %v", cfg.AdmissionPolicy)
 	}
+	if cfg.AdmissionShrink && cfg.AdmissionDepth == 0 {
+		return fmt.Errorf("pipeline: admission shrink needs a bounded ingress (WithAdmission)")
+	}
+	if cfg.AdmissionMinDepth < 0 {
+		return fmt.Errorf("pipeline: negative admission min-depth %d", cfg.AdmissionMinDepth)
+	}
+	if err := cfg.Hedge.Validate(); err != nil {
+		return fmt.Errorf("pipeline: %w", err)
+	}
+	if cfg.Hedge.Enabled() {
+		if len(cfg.Groups) == 1 {
+			g := cfg.Groups[0]
+			if g.Kind != GroupVPU || g.Devices < 2 {
+				return fmt.Errorf("pipeline: hedging a single group needs a multi-stick VPU group (got %v)", g.Kind)
+			}
+		} else if cfg.Routing == core.RouteWorkStealing {
+			return fmt.Errorf("pipeline: hedging needs per-group feeds; routing %v shares the source directly", cfg.Routing)
+		}
+	}
 	if cfg.BatchMaxWait < 0 {
 		return fmt.Errorf("pipeline: negative batch max-wait %v", cfg.BatchMaxWait)
 	}
@@ -476,6 +517,7 @@ func (s *Session) buildTargets() error {
 				t.SetTimeline(s.cfg.Timeline)
 			}
 			s.applyAssembly(t)
+			s.wireBatchRetry(t, i)
 			s.registry.Add(batchName(GroupCPU), eng)
 			s.targets[i] = t
 		case GroupGPU:
@@ -491,6 +533,7 @@ func (s *Session) buildTargets() error {
 				t.SetTimeline(s.cfg.Timeline)
 			}
 			s.applyAssembly(t)
+			s.wireBatchRetry(t, i)
 			s.registry.Add(batchName(GroupGPU), eng)
 			s.targets[i] = t
 		case GroupVPU:
@@ -505,6 +548,11 @@ func (s *Session) buildTargets() error {
 				opts.Timeline = s.cfg.Timeline
 			}
 			opts.Recovery = s.groupRecovery(i)
+			if len(s.cfg.Groups) == 1 && s.cfg.Hedge.Enabled() {
+				// A lone multi-stick VPU group hedges across its own
+				// sticks; hedge events all belong to group 0.
+				opts.Hedge = s.sessionHedge(func(int) int { return 0 })
+			}
 			t, err := core.NewVPUTarget(sticks, s.blob, opts)
 			if err != nil {
 				return fmt.Errorf("pipeline: vpu target: %w", err)
@@ -538,6 +586,11 @@ func (s *Session) groupRecovery(group int) core.RecoveryConfig {
 		}
 	}
 	rc.OnDrop = func(item core.Item, at time.Duration) {
+		// Under pool-level hedging a lost copy is only a loss when no
+		// other copy of the item is in flight or delivered.
+		if s.pool != nil && !s.pool.HedgeItemLost(item.Index) {
+			return
+		}
 		if s.merged != nil {
 			s.merged.NoteDrop(core.DropFailed)
 			s.perGroup[group].NoteDrop(core.DropFailed)
@@ -556,6 +609,60 @@ func (s *Session) groupRecovery(group int) core.RecoveryConfig {
 		}
 	}
 	return rc
+}
+
+// sessionHedge wires the session's hedge policy: the user's hooks
+// still fire, and the session's collectors account every launched
+// duplicate, hedge win and wasted completion. groupOf maps the
+// hedger's child index (a pool group, or a VPU worker) to the device
+// group charged with the event.
+func (s *Session) sessionHedge(groupOf func(child int) int) core.HedgeConfig {
+	hc := s.cfg.Hedge
+	if !hc.Enabled() {
+		return hc
+	}
+	userHedge, userWin, userWaste := hc.OnHedge, hc.OnWin, hc.OnWaste
+	note := func(child int, merged func(), group func(c *core.Collector)) {
+		if s.merged == nil {
+			return
+		}
+		merged()
+		if g := groupOf(child); g >= 0 && g < len(s.perGroup) {
+			group(s.perGroup[g])
+		}
+	}
+	hc.OnHedge = func(item core.Item, child int, at time.Duration) {
+		note(child, func() { s.merged.NoteHedge() }, func(c *core.Collector) { c.NoteHedge() })
+		if userHedge != nil {
+			userHedge(item, child, at)
+		}
+	}
+	hc.OnWin = func(item core.Item, child int, at time.Duration) {
+		note(child, func() { s.merged.NoteHedgeWin() }, func(c *core.Collector) { c.NoteHedgeWin() })
+		if userWin != nil {
+			userWin(item, child, at)
+		}
+	}
+	hc.OnWaste = func(item core.Item, child int, at time.Duration) {
+		note(child, func() { s.merged.NoteHedgeWaste() }, func(c *core.Collector) { c.NoteHedgeWaste() })
+		if userWaste != nil {
+			userWaste(item, child, at)
+		}
+	}
+	return hc
+}
+
+// wireBatchRetry routes a batch target's OOM re-enqueues
+// (fault.BatchOOM split-and-retry) into the session collectors, so
+// batch-engine faults show up in the report's retry accounting like
+// VPU redeliveries do.
+func (s *Session) wireBatchRetry(t *core.BatchTarget, group int) {
+	t.SetRetryObserver(func(_ core.Item, _ time.Duration) {
+		if s.merged != nil {
+			s.merged.NoteRetry()
+			s.perGroup[group].NoteRetry()
+		}
+	})
 }
 
 // applyAssembly configures a batch target's SLO-aware assembly from
@@ -662,6 +769,7 @@ func (s *Session) Run() (*Report, error) {
 			Depth:    s.cfg.AdmissionDepth,
 			Policy:   s.cfg.AdmissionPolicy,
 			Deadline: s.cfg.SLO, // work past the SLO is not worth a device's time
+			MinDepth: s.cfg.AdmissionMinDepth,
 			OnDrop: func(_ core.Item, reason core.DropReason, _ time.Duration) {
 				merged.NoteDrop(reason)
 			},
@@ -673,10 +781,23 @@ func (s *Session) Run() (*Report, error) {
 		src = aq
 	}
 
+	// Health-aware admission: the ingress bound tracks healthy device
+	// capacity — through the pool's aggregate observer for device
+	// groups, or straight off a lone health-aware target.
+	subscribeAdmission := func(t core.Target) {
+		if !s.cfg.AdmissionShrink || s.admission == nil {
+			return
+		}
+		if ha, ok := t.(core.HealthAware); ok {
+			ha.SetHealthObserver(s.admission.ObserveHealth)
+		}
+	}
+
 	var job *core.Job
 	var pool *core.Pool
 	if len(s.targets) == 1 {
 		// Single group: start directly, bit-identical to hand-wiring.
+		subscribeAdmission(s.targets[0])
 		sink := merged.Sink()
 		groupSink := perGroup[0].Sink()
 		job = s.targets[0].Start(s.env, src, func(r core.Result) {
@@ -707,10 +828,13 @@ func (s *Session) Run() (*Report, error) {
 			Weights:    weights,
 			QueueDepth: s.cfg.QueueDepth,
 			OnResult:   func(child int, r core.Result) { sinks[child](r) },
+			Hedge:      s.sessionHedge(func(child int) int { return child }),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: pool: %w", err)
 		}
+		s.pool = pool
+		subscribeAdmission(pool)
 		job = pool.Start(s.env, src, merged.Sink())
 	}
 

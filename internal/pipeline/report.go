@@ -56,6 +56,11 @@ type TargetReport struct {
 	Retries, FaultDrops int
 	Downtime, MTTR      time.Duration
 	Uptime              float64
+	// Hedge accounting (meaningful under WithHedging; zero otherwise):
+	// Hedged counts duplicates this group received, HedgeWins its
+	// completions that beat the other copy, HedgeWaste its discarded
+	// losing completions — device time the group spent on duplicates.
+	Hedged, HedgeWins, HedgeWaste int
 	// Job exposes the raw timing (StartedAt/ReadyAt/DoneAt, Err).
 	Job *core.Job
 	// Collector exposes the raw per-group aggregates.
@@ -106,6 +111,12 @@ type Report struct {
 	Retries, FaultDrops int
 	Downtime, MTTR      time.Duration
 	Uptime              float64
+	// Hedge accounting under WithHedging: duplicates launched, wins
+	// (the duplicate finished first) and wasted completions (a device
+	// fully served a losing duplicate); HedgeWasteRate is waste as a
+	// fraction of all device completions. All zero without hedging.
+	Hedged, HedgeWins, HedgeWaste int
+	HedgeWasteRate                float64
 	// Arrivals names the open-loop arrival process driving the run
 	// (nil for closed-loop runs).
 	Arrivals core.Arrivals
@@ -151,6 +162,10 @@ func (s *Session) buildReport(job *core.Job, pool *core.Pool, merged *core.Colle
 	rep.Outages = merged.Outages
 	rep.Recovered = merged.Repaired
 	rep.MTTR = merged.MTTR()
+	rep.Hedged = merged.Hedged
+	rep.HedgeWins = merged.HedgeWins
+	rep.HedgeWaste = merged.HedgeWaste
+	rep.HedgeWasteRate = merged.HedgeWasteRate()
 	jobs := []*core.Job{job}
 	if pool != nil {
 		jobs = pool.ChildJobs()
@@ -171,6 +186,9 @@ func (s *Session) buildReport(job *core.Job, pool *core.Pool, merged *core.Colle
 			Recovered:      perGroup[i].Repaired,
 			Retries:        perGroup[i].Retries,
 			FaultDrops:     perGroup[i].FaultDrops,
+			Hedged:         perGroup[i].Hedged,
+			HedgeWins:      perGroup[i].HedgeWins,
+			HedgeWaste:     perGroup[i].HedgeWaste,
 			MTTR:           perGroup[i].MTTR(),
 			Uptime:         1,
 			Job:            tj,
@@ -272,6 +290,13 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "faults: %d injected; %d outage(s), %d recovered (MTTR %v), downtime %v; %d retried, %d dropped; uptime %.2f%%\n",
 			r.FaultsInjected, r.Outages, r.Recovered, r.MTTR.Round(time.Millisecond),
 			r.Downtime.Round(time.Millisecond), r.Retries, r.FaultDrops, r.Uptime*100)
+	}
+	if r.Hedged > 0 {
+		fmt.Fprintf(&b, "hedging: %d duplicate(s) launched, %d win(s), %d wasted completion(s) (%.1f%% of device work)\n",
+			r.Hedged, r.HedgeWins, r.HedgeWaste, r.HedgeWasteRate*100)
+	}
+	if r.Admission.Shrinks > 0 {
+		fmt.Fprintf(&b, "admission: effective depth shrank %d time(s) with device health\n", r.Admission.Shrinks)
 	}
 	fmt.Fprintf(&b, "simulated time %v", r.SimTime)
 	if len(r.Targets) > 1 {

@@ -31,6 +31,53 @@ func NewQueue[T any](e *Env, name string, capacity int) *Queue[T] {
 // Len returns the number of buffered items.
 func (q *Queue[T]) Len() int { return len(q.items) }
 
+// Capacity returns the current bound (0 = unbounded).
+func (q *Queue[T]) Capacity() int { return q.capacity }
+
+// SetCapacity rebounds the queue to capacity n (0 = unbounded).
+// Shrinking below the current occupancy evicts nothing — the queue
+// stays over-full until consumers drain it, with Put blocking and
+// TryPut failing meanwhile. Growing (or unbounding) wakes blocked
+// putters for the new room. This is the primitive behind health-aware
+// admission: the ingress bound tracks healthy device capacity while
+// queued work keeps its place.
+func (q *Queue[T]) SetCapacity(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("sim: queue %q negative capacity", q.name))
+	}
+	q.capacity = n
+	room := len(q.putters)
+	if n > 0 {
+		room = n - len(q.items)
+	}
+	for i := 0; i < room && len(q.putters) > 0; i++ {
+		w := q.putters[0]
+		q.putters = q.putters[1:]
+		w.wake()
+	}
+}
+
+// RemoveWhere removes and returns the first buffered item satisfying
+// pred, waking one blocked putter for the freed slot. It is the
+// cancellation primitive behind hedged requests: a speculative
+// duplicate still sitting in a feed queue is withdrawn the moment the
+// other copy completes, so no device time is spent serving it.
+func (q *Queue[T]) RemoveWhere(pred func(T) bool) (T, bool) {
+	var zero T
+	for i, v := range q.items {
+		if pred(v) {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			if len(q.putters) > 0 {
+				w := q.putters[0]
+				q.putters = q.putters[1:]
+				w.wake()
+			}
+			return v, true
+		}
+	}
+	return zero, false
+}
+
 // Peak returns the high-water mark of the buffer.
 func (q *Queue[T]) Peak() int { return q.peak }
 

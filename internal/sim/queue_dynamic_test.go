@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestQueueSetCapacityShrinkAndGrow: shrinking below occupancy evicts
+// nothing and blocks producers; growing wakes them for the new room.
+func TestQueueSetCapacityShrinkAndGrow(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue[int](env, "dyn", 4)
+	var put []time.Duration
+	env.Process("producer", func(p *Proc) {
+		for i := 0; i < 6; i++ {
+			q.Put(p, i)
+			put = append(put, p.Now())
+		}
+	})
+	env.Process("control", func(p *Proc) {
+		q.SetCapacity(2) // over-full: 4 items already in, nothing evicted
+		if q.Len() != 4 {
+			t.Errorf("Len after shrink = %d, want 4 (no eviction)", q.Len())
+		}
+		if q.TryPut(99) {
+			t.Error("TryPut must fail while over-full")
+		}
+		p.Sleep(10 * time.Millisecond)
+		q.SetCapacity(6) // room for the two blocked puts
+	})
+	env.Run()
+	if len(put) != 6 {
+		t.Fatalf("%d puts completed, want 6", len(put))
+	}
+	// The first four puts landed at t=0; the last two had to wait for
+	// the capacity to grow back.
+	for i, at := range put {
+		if i < 4 && at != 0 {
+			t.Errorf("put %d at %v, want 0", i, at)
+		}
+		if i >= 4 && at != 10*time.Millisecond {
+			t.Errorf("put %d at %v, want 10ms (after the grow)", i, at)
+		}
+	}
+}
+
+// TestQueueSetCapacityUnbound: capacity 0 unbounds the queue and
+// wakes every blocked producer.
+func TestQueueSetCapacityUnbound(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue[int](env, "dyn", 1)
+	done := 0
+	for w := 0; w < 3; w++ {
+		w := w
+		env.Process("producer", func(p *Proc) {
+			q.Put(p, w)
+			done++
+		})
+	}
+	env.Process("control", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		q.SetCapacity(0)
+	})
+	env.Run()
+	if done != 3 {
+		t.Fatalf("%d puts completed, want 3", done)
+	}
+}
+
+// TestQueueRemoveWhere: removes the first matching item, preserves
+// order of the rest, wakes a blocked producer for the slot, and
+// reports absence.
+func TestQueueRemoveWhere(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue[int](env, "rm", 3)
+	blockedAt := time.Duration(-1)
+	env.Process("producer", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			q.Put(p, i) // the 4th put blocks on the full queue
+		}
+		blockedAt = p.Now()
+	})
+	env.Process("control", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		if _, ok := q.RemoveWhere(func(v int) bool { return v == 7 }); ok {
+			t.Error("RemoveWhere matched a value not in the queue")
+		}
+		v, ok := q.RemoveWhere(func(v int) bool { return v == 1 })
+		if !ok || v != 1 {
+			t.Errorf("RemoveWhere = (%d, %v), want (1, true)", v, ok)
+		}
+	})
+	env.Run()
+	if blockedAt != 5*time.Millisecond {
+		t.Errorf("blocked producer resumed at %v, want 5ms (woken by the removal)", blockedAt)
+	}
+	want := []int{0, 2, 3}
+	for _, w := range want {
+		v, ok := q.TryGet()
+		if !ok || v != w {
+			t.Fatalf("TryGet = (%d, %v), want (%d, true)", v, ok, w)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("queue not drained, %d left", q.Len())
+	}
+}

@@ -247,7 +247,20 @@ type (
 	// BatchAssembly configures adaptive batch assembly on a
 	// BatchTarget (max-wait partial batches, backlog-sized batches).
 	BatchAssembly = core.BatchAssembly
+	// HedgeConfig configures speculative hedged requests: trigger
+	// (fixed delay or live latency quantile), hedge budget, and the
+	// dedup accounting hooks.
+	HedgeConfig = core.HedgeConfig
+	// HealthAware is implemented by targets that report device-health
+	// transitions (VPUTarget, Pool); health-aware admission and
+	// failover routing subscribe to it.
+	HealthAware = core.HealthAware
 )
+
+// HedgeNever is a hedge trigger that never fires: hedging armed, no
+// duplicate ever launched, bit-identical to hedging disabled — the
+// control configuration of the hedge experiments.
+const HedgeNever = core.HedgeNever
 
 // Overload policies for bounded admission.
 const (
@@ -303,6 +316,9 @@ const (
 	TransientError = fault.TransientError
 	// Slowdown stretches a device's service time ×factor for a window.
 	Slowdown = fault.Slowdown
+	// BatchOOM fails a batch engine's next submissions allocator-style;
+	// the batch target splits and retries (items delayed, never lost).
+	BatchOOM = fault.BatchOOM
 )
 
 // DefaultRecoveryConfig returns the standard self-healing policy (2 s
@@ -483,6 +499,23 @@ func WithAdaptiveBatching(maxWait time.Duration) SessionOption {
 	return pipeline.WithAdaptiveBatching(maxWait)
 }
 
+// WithAdmissionShrink extends WithAdmission with health-aware depth:
+// during a device outage the admission bound shrinks proportionally
+// to healthy capacity (floored at minDepth; 0 = 1), so queued work
+// cannot all expire waiting for devices that are gone, and restores
+// on rejoin.
+func WithAdmissionShrink(minDepth int) SessionOption {
+	return pipeline.WithAdmissionShrink(minDepth)
+}
+
+// WithHedging arms speculative hedged requests — the tail-at-scale
+// defense: an item in flight past the trigger (fixed delay, or a live
+// latency quantile) is duplicated onto a different healthy device
+// group or stick, the first completion wins, and the loser is
+// cancelled in-queue or discarded with full dedup accounting
+// (Report.Hedged/HedgeWins/HedgeWaste).
+func WithHedging(hc HedgeConfig) SessionOption { return pipeline.WithHedging(hc) }
+
 // WithFaults injects a deterministic fault plan into the session's
 // devices as the run unfolds: stick hangs, USB link drops, transient
 // inference errors, straggler slowdowns — scripted or seeded, always
@@ -659,6 +692,11 @@ type (
 	// (Benchmarks.ResiliencePoints): goodput, tail latency and
 	// availability under injected faults, self-healing vs fail-stop.
 	ResiliencePoint = bench.ResiliencePoint
+	// HedgePoint is one (configuration, fault level, hedge variant)
+	// measurement of the hedge experiment (Benchmarks.HedgePoints):
+	// p99 and goodput vs hedge trigger, with the hedge volume and
+	// waste that bought them.
+	HedgePoint = bench.HedgePoint
 )
 
 // DefaultBenchConfig returns the paper-scale experiment configuration.

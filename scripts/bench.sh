@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Regenerate the paper's evaluation benchmarks at CI scale into
 # .bench/ (one benchmark per figure; see bench_test.go), then emit the
-# machine-readable perf snapshot BENCH_PR<n>.json from the resilience
+# machine-readable perf snapshot BENCH_PR<n>.json from the hedge
 # serving experiment. <n> is the newest PR recorded in CHANGES.md, so
 # each PR's run lands in its own snapshot without editing this script;
 # a CHANGES.md with no PR entry is an error (the alternative is a
@@ -26,7 +26,7 @@ if [ -z "${NCSW_BENCH_JSON:-}" ]; then
 fi
 OUT_FILE=${NCSW_BENCH_OUT:-.bench/figures.txt}
 BENCH_TIME=${NCSW_BENCH_TIME:-200ms}
-JSON_FLAGS=${NCSW_BENCH_JSON_FLAGS:--faults -json}
+JSON_FLAGS=${NCSW_BENCH_JSON_FLAGS:--hedge -json}
 
 mkdir -p "$(dirname "$OUT_FILE")"
 
