@@ -63,6 +63,9 @@ func NewFolderSource(dir string, size int, means []float32, labelOf func(wnid st
 		}
 		img = imagenet.Resize(img, size, size)
 		subtractMeans(img, means)
+		// Arrival cannot be known at load time; Next stamps it at the
+		// pull instant, closed-loop, like the other finite sources.
+		//ncsw:allow resultstamp stamped by Next at the pull instant
 		item := Item{Index: i, Image: img, Label: -1}
 		if label, ok := lookupAnnotation(dir, name, labelOf); ok {
 			item.Label = label
@@ -78,13 +81,19 @@ func (s *FolderSource) Len() int { return len(s.items) }
 // Remaining implements Sized.
 func (s *FolderSource) Remaining() int { return len(s.items) - s.next }
 
-// Next implements Source.
-func (s *FolderSource) Next(_ *sim.Proc) (Item, bool) {
+// Next implements Source. Items arrive at the pull instant
+// (closed-loop), like DatasetSource and SliceSource — before the
+// resultstamp sweep this source left ArrivedAt zero, which made
+// Collector wait/latency splits measure from the start of the
+// simulation for folder-served runs.
+func (s *FolderSource) Next(p *sim.Proc) (Item, bool) {
 	if s.next >= len(s.items) {
 		return Item{}, false
 	}
 	s.next++
-	return s.items[s.next-1], true
+	item := s.items[s.next-1]
+	item.ArrivedAt = p.Now()
+	return item, true
 }
 
 func subtractMeans(img *tensor.T, means []float32) {

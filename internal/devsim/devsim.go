@@ -229,11 +229,17 @@ func (c *CPU) NextBatchDuration(b int) time.Duration {
 	return d
 }
 
-// Batches and Images report engine usage; Busy the accumulated time.
-func (c *CPU) Batches() int64      { return c.batches }
-func (c *CPU) Images() int64       { return c.images }
+// Batches reports how many batches the engine executed.
+func (c *CPU) Batches() int64 { return c.batches }
+
+// Images reports how many images the engine processed.
+func (c *CPU) Images() int64 { return c.images }
+
+// Busy reports the accumulated execution time.
 func (c *CPU) Busy() time.Duration { return c.busy }
-func (c *CPU) TDPWatts() float64   { return c.cfg.TDPWatts }
+
+// TDPWatts reports the configured thermal design power.
+func (c *CPU) TDPWatts() float64 { return c.cfg.TDPWatts }
 
 // GPU is the Caffe-cuDNN batch engine.
 type GPU struct {
@@ -322,8 +328,14 @@ func (g *GPU) NextBatchDuration(b int) time.Duration {
 	return d
 }
 
-// Batches and Images report engine usage; Busy the accumulated time.
-func (g *GPU) Batches() int64      { return g.batches }
-func (g *GPU) Images() int64       { return g.images }
+// Batches reports how many batches the engine executed.
+func (g *GPU) Batches() int64 { return g.batches }
+
+// Images reports how many images the engine processed.
+func (g *GPU) Images() int64 { return g.images }
+
+// Busy reports the accumulated execution time.
 func (g *GPU) Busy() time.Duration { return g.busy }
-func (g *GPU) TDPWatts() float64   { return g.cfg.TDPWatts }
+
+// TDPWatts reports the configured thermal design power.
+func (g *GPU) TDPWatts() float64 { return g.cfg.TDPWatts }

@@ -20,9 +20,13 @@ type Float16 uint16
 
 // Special bit patterns.
 const (
-	PositiveZero     Float16 = 0x0000
-	NegativeZero     Float16 = 0x8000
+	// PositiveZero is +0: all bits clear.
+	PositiveZero Float16 = 0x0000
+	// NegativeZero is -0: sign bit only.
+	NegativeZero Float16 = 0x8000
+	// PositiveInfinity is +Inf: exponent all ones, mantissa zero.
 	PositiveInfinity Float16 = 0x7C00
+	// NegativeInfinity is -Inf: sign bit plus the +Inf pattern.
 	NegativeInfinity Float16 = 0xFC00
 	// QuietNaN is one canonical NaN encoding; IsNaN accepts all of them.
 	QuietNaN Float16 = 0x7E00

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Exportdoc reports exported symbols in internal/ packages that carry
+// no doc comment. It is the AST-accurate replacement for the awk gate
+// that scripts/ci.sh used to run over internal/fault and
+// internal/core only: top-level exported funcs, types, consts and
+// vars; exported members of const/var/type blocks (each needs its own
+// comment above the member — a block comment or a trailing same-line
+// remark does not document an individual knob); and exported methods
+// on exported receiver types. The reliability and serving
+// surfaces are API for downstream code — an undocumented knob is a
+// review bug. Test files are exempt.
+var Exportdoc = &Analyzer{
+	Name: "exportdoc",
+	Doc:  "require a doc comment on every exported symbol in internal/ packages",
+	Run: func(pass *Pass) {
+		if !isInternalPkg(pass.Path) {
+			return
+		}
+		for _, f := range pass.Files {
+			if isTestFile(pass.Filename(f.Pos())) {
+				continue
+			}
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					checkFuncDoc(pass, d)
+				case *ast.GenDecl:
+					checkGenDoc(pass, d)
+				}
+			}
+		}
+	},
+}
+
+// checkFuncDoc flags an undocumented exported function or an
+// undocumented exported method on an exported receiver type.
+func checkFuncDoc(pass *Pass, d *ast.FuncDecl) {
+	if !d.Name.IsExported() || d.Doc != nil {
+		return
+	}
+	kind := "function"
+	if d.Recv != nil && len(d.Recv.List) == 1 {
+		recv := receiverTypeName(d.Recv.List[0].Type)
+		if recv == "" || !ast.IsExported(recv) {
+			return // method on an unexported type: not API surface
+		}
+		kind = "method " + recv + "."
+	} else {
+		kind = "function "
+	}
+	pass.Reportf(d.Name.Pos(), "exported %s%s has no doc comment", kind, d.Name.Name)
+}
+
+// receiverTypeName unwraps a method receiver type expression to its
+// base type name ("" when unrecognized).
+func receiverTypeName(expr ast.Expr) string {
+	for {
+		switch t := expr.(type) {
+		case *ast.StarExpr:
+			expr = t.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			expr = t.X
+		case *ast.IndexListExpr:
+			expr = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// checkGenDoc flags undocumented exported names in a const/var/type
+// declaration. Ungrouped declarations need the declaration comment;
+// grouped specs each need their own comment above the member — a
+// single comment on the block does not excuse its members, matching
+// the awk gate this replaces.
+func checkGenDoc(pass *Pass, d *ast.GenDecl) {
+	if d.Tok != token.CONST && d.Tok != token.VAR && d.Tok != token.TYPE {
+		return
+	}
+	grouped := d.Lparen.IsValid()
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			if docFor(grouped, d, s.Doc) {
+				continue
+			}
+			pass.Reportf(s.Name.Pos(), "exported type %s has no doc comment", s.Name.Name)
+		case *ast.ValueSpec:
+			name := firstExported(s.Names)
+			if name == nil {
+				continue
+			}
+			if docFor(grouped, d, s.Doc) {
+				continue
+			}
+			pass.Reportf(name.Pos(), "exported %s %s has no doc comment", d.Tok, name.Name)
+		}
+	}
+}
+
+// docFor reports whether a spec is documented: by the declaration
+// comment when ungrouped, or by its own leading comment when inside
+// a ( ... ) block.
+func docFor(grouped bool, d *ast.GenDecl, doc *ast.CommentGroup) bool {
+	if grouped {
+		return doc != nil
+	}
+	return d.Doc != nil || doc != nil
+}
+
+// firstExported returns the first exported identifier, or nil.
+func firstExported(names []*ast.Ident) *ast.Ident {
+	for _, n := range names {
+		if n.IsExported() {
+			return n
+		}
+	}
+	return nil
+}

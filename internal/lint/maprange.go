@@ -1,0 +1,429 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Maprange reports `for ... range` over a map whose body performs
+// ordering-sensitive work. Go randomizes map iteration order on
+// purpose, so anything the loop emits, appends, dispatches or
+// last-write-wins assigns varies run to run — the exact class of bug
+// the byte-identical benchmark gate exists to catch (DESIGN.md §4).
+//
+// The analyzer classifies the body statement by statement. Safe,
+// order-insensitive constructs:
+//
+//   - commutative accumulation into integers (x += n, x++, x |= b …);
+//     float and string accumulation is NOT safe — float rounding and
+//     string concatenation both depend on iteration order
+//   - keyed writes into another map, and delete()
+//   - collecting keys for later sorting: keys = append(keys, k)
+//   - local bindings, conditionals and switches built from the above
+//
+// Everything else — calls (emission, dispatch, scoring), appends of
+// values, sends, plain assignment to variables declared outside the
+// loop, early return/break — is reported. The fix is almost always to
+// iterate a sorted key slice instead; where the body is provably
+// commutative (e.g. a pure float sum a test pins), suppress with
+// //ncsw:allow maprange <reason>. Test files are exempt.
+var Maprange = &Analyzer{
+	Name: "maprange",
+	Doc:  "flag ordering-sensitive work inside map iteration — sort the keys first",
+	Run: func(pass *Pass) {
+		if !isInternalPkg(pass.Path) {
+			return
+		}
+		for _, f := range pass.Files {
+			if isTestFile(pass.Filename(f.Pos())) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := underlying(t).(*types.Map); !isMap {
+					return true
+				}
+				c := &mapRangeCheck{pass: pass, rs: rs}
+				c.stmts(rs.Body.List)
+				if c.reason != "" {
+					pass.Reportf(rs.Pos(), "map iteration order is randomized and this body is ordering-sensitive (%s) — iterate over sorted keys", c.reason)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// mapRangeCheck classifies one map-range body. It records the first
+// ordering-sensitive construct found; one diagnostic per loop is
+// enough to drive the rewrite.
+type mapRangeCheck struct {
+	pass   *Pass
+	rs     *ast.RangeStmt
+	reason string
+}
+
+// sensitive records the first offending construct.
+func (c *mapRangeCheck) sensitive(format string, args ...any) {
+	if c.reason == "" {
+		c.reason = fmt.Sprintf(format, args...)
+	}
+}
+
+// stmts classifies a statement list.
+func (c *mapRangeCheck) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		c.stmt(s)
+		if c.reason != "" {
+			return
+		}
+	}
+}
+
+// stmt classifies one statement.
+func (c *mapRangeCheck) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		c.assign(s)
+	case *ast.IncDecStmt:
+		// Counters commute.
+	case *ast.ExprStmt:
+		c.expr(s.X)
+	case *ast.DeclStmt:
+		// Local declarations only bind names; initializer calls are
+		// caught below.
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		c.expr(s.Cond)
+		c.stmts(s.Body.List)
+		if s.Else != nil {
+			c.stmt(s.Else)
+		}
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+	case *ast.BlockStmt:
+		c.stmts(s.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			c.expr(s.Tag)
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				for _, e := range cl.List {
+					c.expr(e)
+				}
+				c.stmts(cl.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.stmts(cl.Body)
+			}
+		}
+	case *ast.ForStmt, *ast.RangeStmt:
+		// Nested loops get their own inspection when they range over a
+		// map; classify their bodies here all the same.
+		switch l := s.(type) {
+		case *ast.ForStmt:
+			if l.Init != nil {
+				c.stmt(l.Init)
+			}
+			if l.Cond != nil {
+				c.expr(l.Cond)
+			}
+			if l.Post != nil {
+				c.stmt(l.Post)
+			}
+			c.stmts(l.Body.List)
+		case *ast.RangeStmt:
+			c.expr(l.X)
+			c.stmts(l.Body.List)
+		}
+	case *ast.SendStmt:
+		c.sensitive("channel send")
+	case *ast.ReturnStmt:
+		c.sensitive("early return picks whichever key iterates first")
+	case *ast.BranchStmt:
+		if s.Tok == token.BREAK {
+			c.sensitive("break exits after an order-dependent prefix")
+		}
+	case *ast.GoStmt:
+		c.sensitive("goroutine launch")
+	case *ast.DeferStmt:
+		c.sensitive("deferred call")
+	case *ast.EmptyStmt, *ast.LabeledStmt:
+		if ls, ok := s.(*ast.LabeledStmt); ok {
+			c.stmt(ls.Stmt)
+		}
+	default:
+		c.sensitive("statement %T", s)
+	}
+}
+
+// assign classifies an assignment statement.
+func (c *mapRangeCheck) assign(s *ast.AssignStmt) {
+	switch s.Tok {
+	case token.DEFINE:
+		// Binding locals is safe; their initializers may not be.
+		for _, r := range s.Rhs {
+			c.expr(r)
+		}
+	case token.ASSIGN:
+		for i, l := range s.Lhs {
+			var r ast.Expr
+			if len(s.Rhs) == len(s.Lhs) {
+				r = s.Rhs[i]
+			}
+			c.plainAssign(l, r)
+		}
+		for _, r := range s.Rhs {
+			c.expr(r)
+		}
+	default:
+		// Compound assignment: commutative only over integers. Float
+		// accumulation reassociates rounding error with iteration
+		// order; string += concatenates in iteration order.
+		for _, l := range s.Lhs {
+			if !c.safeWriteTarget(l) && !c.integer(l) {
+				c.sensitive("%s accumulation into %s is order-dependent for non-integer types", s.Tok, exprString(l))
+			}
+		}
+		for _, r := range s.Rhs {
+			c.expr(r)
+		}
+	}
+}
+
+// plainAssign classifies `lhs = rhs`: writes into loop-local
+// variables (fields and dereferences included) and keyed map/slice
+// element writes are safe, as is the idempotent flag idiom `found =
+// true` (a constant written on every iteration lands on the same
+// value in any order). A non-constant plain write to a variable that
+// outlives the loop is last-write-wins.
+func (c *mapRangeCheck) plainAssign(lhs, rhs ast.Expr) {
+	if isBlank(lhs) || c.safeWriteTarget(lhs) {
+		return
+	}
+	if rhs != nil {
+		if tv, ok := c.pass.Info.Types[rhs]; ok && tv.Value != nil {
+			return // constant: every iteration writes the same value
+		}
+	}
+	if c.keyAppend(lhs, rhs) || c.selfMinMax(lhs, rhs) {
+		return
+	}
+	c.sensitive("last-write-wins assignment to %s", exprString(lhs))
+}
+
+// selfMinMax recognizes the commutative fold x = min(x, …) /
+// x = max(x, …): the extremum of a set does not depend on the order
+// the set is visited in.
+func (c *mapRangeCheck) selfMinMax(lhs, rhs ast.Expr) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	if !isBuiltin(c.pass, call.Fun, "min") && !isBuiltin(c.pass, call.Fun, "max") {
+		return false
+	}
+	for _, a := range call.Args {
+		if aid, ok := a.(*ast.Ident); ok && aid.Name == id.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// safeWriteTarget reports whether an assignment target is
+// order-neutral: rooted in a variable declared inside the loop, or a
+// keyed element write (distinct keys commute).
+func (c *mapRangeCheck) safeWriteTarget(e ast.Expr) bool {
+	for {
+		switch t := e.(type) {
+		case *ast.Ident:
+			return c.localVar(t)
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// keyAppend recognizes the collect-keys-for-sorting idiom:
+// keys = append(keys, k) (the key possibly converted). Appending
+// values or arbitrary expressions stays sensitive — the slice content
+// would depend on iteration order with no sort able to fix it
+// deterministically.
+func (c *mapRangeCheck) keyAppend(lhs, rhs ast.Expr) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || !isBuiltin(c.pass, call.Fun, "append") || len(call.Args) < 2 || call.Ellipsis.IsValid() {
+		return false
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	if !ok || first.Name != id.Name {
+		return false
+	}
+	for _, a := range call.Args[1:] {
+		if !c.isKeyExpr(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// isKeyExpr reports whether e is the range key variable, possibly
+// wrapped in a conversion.
+func (c *mapRangeCheck) isKeyExpr(e ast.Expr) bool {
+	key, ok := c.rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name == key.Name
+	case *ast.CallExpr:
+		// conversion of the key, e.g. append(keys, string(k))
+		if len(e.Args) == 1 && c.isConversion(e) {
+			return c.isKeyExpr(e.Args[0])
+		}
+	}
+	return false
+}
+
+// expr flags ordering-sensitive expressions: any call that is not a
+// pure builtin or a type conversion.
+func (c *mapRangeCheck) expr(e ast.Expr) {
+	if e == nil || c.reason != "" {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if c.reason != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if c.isConversion(call) || isPureBuiltin(c.pass, call.Fun) {
+			return true
+		}
+		c.sensitive("call to %s", exprString(call.Fun))
+		return false
+	})
+}
+
+// isConversion reports whether call is a type conversion.
+func (c *mapRangeCheck) isConversion(call *ast.CallExpr) bool {
+	tv, ok := c.pass.Info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// localVar reports whether expr is an identifier declared inside the
+// range statement (including the key/value variables).
+func (c *mapRangeCheck) localVar(expr ast.Expr) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := c.pass.Info.Uses[id]
+	if obj == nil {
+		obj = c.pass.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= c.rs.Pos() && obj.Pos() <= c.rs.End()
+}
+
+// integer reports whether expr has an integer (or untyped integer)
+// type, the only kinds whose compound accumulation commutes exactly.
+func (c *mapRangeCheck) integer(expr ast.Expr) bool {
+	t := c.pass.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	b, ok := underlying(t).(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// underlying unwraps aliases and returns the underlying type.
+func underlying(t types.Type) types.Type { return types.Unalias(t).Underlying() }
+
+// exprString renders an expression for a diagnostic message.
+func exprString(e ast.Expr) string { return types.ExprString(e) }
+
+// isBlank reports whether expr is the blank identifier.
+func isBlank(expr ast.Expr) bool {
+	id, ok := expr.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isBuiltin reports whether fun resolves to the named Go builtin.
+func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// pureBuiltins are builtins with no observable ordering effect.
+var pureBuiltins = map[string]bool{
+	"len": true, "cap": true, "min": true, "max": true,
+	"delete": true, "append": true, "make": true, "new": true,
+	"real": true, "imag": true, "complex": true, "copy": true,
+}
+
+// isPureBuiltin reports whether fun is one of the order-neutral
+// builtins. append/copy reached through this path are arguments of a
+// larger expression; the assignment-level rules already decided
+// whether their destination is safe.
+func isPureBuiltin(pass *Pass, fun ast.Expr) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || !pureBuiltins[id.Name] {
+		return false
+	}
+	_, isB := pass.Info.Uses[id].(*types.Builtin)
+	return isB
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// corePkgPath is the package whose serving types carry the per-item
+// lifecycle timestamps introduced in PR 2.
+const corePkgPath = "repro/internal/core"
+
+// itemPayload / itemStamps: a core.Item literal that carries work
+// (an image or a ground-truth label) must say when that work arrived.
+// Index alone is exempt — Index -1 literals are the framework's
+// end-of-stream sentinels and carry no payload.
+var (
+	itemPayload = map[string]bool{"Image": true, "Label": true}
+	itemStamps  = []string{"ArrivedAt"}
+)
+
+// resultPayload / resultStamps: a core.Result literal that reports an
+// inference (a prediction, a device, an error) must stamp the full
+// lifecycle — arrival, service start, completion — or every latency
+// split downstream (Wait, ServiceTime, goodput vs SLO) silently
+// measures from zero.
+var (
+	resultPayload = map[string]bool{
+		"Index": true, "Label": true, "Pred": true, "Confidence": true,
+		"Output": true, "Device": true, "Err": true,
+	}
+	resultStamps = []string{"ArrivedAt", "Start", "End"}
+)
+
+// Resultstamp reports composite literals of core.Item and core.Result
+// in internal/ packages that populate payload fields without the
+// lifecycle timestamps. Zero literals and sentinel literals (Index
+// only) pass; so does any code that builds a bare literal and routes
+// it through a stamping helper such as StreamSource.Push, which sets
+// ArrivedAt at the push instant. Test files are exempt: tests build
+// half-stamped literals to probe exactly these edge cases.
+var Resultstamp = &Analyzer{
+	Name: "resultstamp",
+	Doc:  "require core.Item/core.Result literals to set their lifecycle timestamps (or flow through a stamping helper)",
+	Run: func(pass *Pass) {
+		if !isInternalPkg(pass.Path) {
+			return
+		}
+		for _, f := range pass.Files {
+			if isTestFile(pass.Filename(f.Pos())) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				lit, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				name := coreTypeName(pass, lit)
+				switch name {
+				case "Item":
+					checkStamps(pass, lit, "core.Item", itemPayload, itemStamps)
+				case "Result":
+					checkStamps(pass, lit, "core.Result", resultPayload, resultStamps)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// coreTypeName returns the named-type name of a composite literal
+// declared in repro/internal/core ("" otherwise).
+func coreTypeName(pass *Pass, lit *ast.CompositeLit) string {
+	t := pass.TypeOf(lit)
+	if t == nil {
+		return ""
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != corePkgPath {
+		return ""
+	}
+	return obj.Name()
+}
+
+// checkStamps applies the payload-implies-stamps rule to one keyed
+// composite literal. Unkeyed literals necessarily set every field and
+// always pass.
+func checkStamps(pass *Pass, lit *ast.CompositeLit, label string, payload map[string]bool, stamps []string) {
+	set := map[string]bool{}
+	hasPayload := false
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			return // unkeyed literal: all fields set positionally
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok {
+			set[id.Name] = true
+			hasPayload = hasPayload || payload[id.Name]
+		}
+	}
+	if !hasPayload {
+		return
+	}
+	var missing []string
+	for _, s := range stamps {
+		if !set[s] {
+			missing = append(missing, s)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	pass.Reportf(lit.Pos(), "%s literal carries payload fields but does not set %s — stamp the lifecycle (PR 2) or route it through a stamping helper", label, joinNames(missing))
+}
+
+// joinNames renders a field list for a diagnostic.
+func joinNames(names []string) string {
+	switch len(names) {
+	case 1:
+		return names[0]
+	case 2:
+		return names[0] + " and " + names[1]
+	default:
+		out := ""
+		for i, n := range names[:len(names)-1] {
+			if i > 0 {
+				out += ", "
+			}
+			out += n
+		}
+		return out + " and " + names[len(names)-1]
+	}
+}

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randConstructors are the math/rand (v1 and v2) package-level
+// functions that build an explicitly seeded generator rather than
+// touching the process-global source. These are the only package-level
+// calls the analyzer permits.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// Seededrand reports calls to the top-level math/rand and
+// math/rand/v2 functions, which draw from a process-global,
+// implicitly seeded source: the one kind of randomness that can never
+// be reproduced run-to-run. All randomness in this module flows from
+// internal/rng (splitmix64 with named sub-streams) or, at minimum, an
+// explicitly seeded rand.New(rand.NewSource(seed)). Unlike walltime,
+// the ban covers the whole module — cmd/ included — because a binary
+// that perturbs results with global randomness poisons a BENCH
+// snapshot just as surely as a library would. *_test.go files are
+// allowlisted.
+var Seededrand = &Analyzer{
+	Name: "seededrand",
+	Doc:  "forbid global math/rand top-level functions — randomness must come from internal/rng or an explicitly seeded source",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			if isTestFile(pass.Filename(f.Pos())) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				path := pkgPathOf(pass, sel)
+				if path != "math/rand" && path != "math/rand/v2" {
+					return true
+				}
+				// Only package-level functions touch the global source;
+				// referring to rand.Source, rand.Rand etc. is fine.
+				if _, isFunc := pass.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+					return true
+				}
+				if randConstructors[sel.Sel.Name] {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "rand.%s draws from the implicitly seeded process-global source; use internal/rng or an explicitly seeded rand.New(rand.NewSource(seed))", sel.Sel.Name)
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,49 @@
+// Package exportdoc exercises the exportdoc analyzer: every exported
+// symbol in an internal/ package needs a doc comment — top-level
+// declarations, members of const/var/type blocks, and methods on
+// exported receiver types.
+package exportdoc
+
+// Documented carries a doc comment and is fine.
+const Documented = 1
+
+const Undocumented = 2 // want `exported const Undocumented has no doc comment`
+
+// Knobs below show that a block comment does not excuse its members.
+const (
+	// BlockDocumented has its own comment.
+	BlockDocumented = 3
+	BlockBare       = 4 // want `exported const BlockBare has no doc comment`
+
+	unexportedIsFine = 5
+)
+
+var Global int // want `exported var Global has no doc comment`
+
+// Config is documented.
+type Config struct{}
+
+type Undoc struct{} // want `exported type Undoc has no doc comment`
+
+// Run is documented.
+func (Config) Run() {}
+
+func (Config) Stop() {} // want `exported method Config\.Stop has no doc comment`
+
+func Top() {} // want `exported function Top has no doc comment`
+
+func unexportedFunc() {}
+
+type hidden struct{}
+
+// Methods on unexported types are not API surface.
+func (hidden) Visible() {}
+
+var (
+	// GroupDocumented is fine.
+	GroupDocumented = 6
+	_               = unexportedIsFine
+	_               = hidden{}
+)
+
+func init() { unexportedFunc(); Config{}.Run(); Config{}.Stop(); Top(); hidden{}.Visible() }

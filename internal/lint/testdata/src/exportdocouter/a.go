@@ -1,0 +1,10 @@
+// Package exportdocouter exercises the exportdoc analyzer's scope:
+// this fixture runs under a non-internal import path, so nothing in
+// it is a finding even though every export below is bare.
+package exportdocouter
+
+const Bare = 1
+
+type AlsoBare struct{}
+
+func NoDoc() {}

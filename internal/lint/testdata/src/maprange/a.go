@@ -1,0 +1,161 @@
+// Package maprange exercises the maprange analyzer: ordering-
+// sensitive work inside randomized map iteration is a finding;
+// commutative accumulation, keyed writes, key collection for sorting,
+// and loop-local work are not.
+package maprange
+
+import "fmt"
+
+func emitBad(m map[string]int) {
+	for k, v := range m { // want `ordering-sensitive \(call to fmt\.Printf\)`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func dispatchBad(m map[string]int, send func(int)) {
+	for _, v := range m { // want `ordering-sensitive \(call to send\)`
+		send(v)
+	}
+}
+
+func appendValuesBad(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `last-write-wins assignment to out`
+		out = append(out, v)
+	}
+	return out
+}
+
+func floatSumBad(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `accumulation into total is order-dependent for non-integer types`
+		total += v
+	}
+	return total
+}
+
+func stringConcatBad(m map[string]string) string {
+	var s string
+	for _, v := range m { // want `accumulation into s is order-dependent for non-integer types`
+		s += v
+	}
+	return s
+}
+
+func earlyReturnBad(m map[string]int) string {
+	for k := range m { // want `early return picks whichever key iterates first`
+		return k
+	}
+	return ""
+}
+
+func breakBad(m map[string]int, limit int) int {
+	n := 0
+	for _, v := range m { // want `break exits after an order-dependent prefix`
+		n += v
+		if n > limit {
+			break
+		}
+	}
+	return n
+}
+
+func sendBad(m map[string]int, ch chan int) {
+	for _, v := range m { // want `channel send`
+		ch <- v
+	}
+}
+
+func lastWriteBad(m map[string]string) string {
+	var last string
+	for _, v := range m { // want `last-write-wins assignment to last`
+		last = v
+	}
+	return last
+}
+
+func collectKeysOK(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func collectConvertedKeysOK(m map[int]string) []int64 {
+	var keys []int64
+	for k := range m {
+		keys = append(keys, int64(k))
+	}
+	return keys
+}
+
+func intSumOK(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func counterOK(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func keyedWriteOK(src, dst map[string]int) {
+	for k, v := range src {
+		dst[k] = v * 2
+	}
+}
+
+func deleteOK(m, other map[string]int) {
+	for k := range m {
+		delete(other, k)
+	}
+}
+
+func foundFlagOK(m map[string]bool, needle string) bool {
+	found := false
+	for k := range m {
+		if k == needle {
+			found = true
+		}
+	}
+	return found
+}
+
+func localWorkOK(m map[string]int) int {
+	type pair struct{ a, b int }
+	total := 0
+	for _, v := range m {
+		p := pair{a: v}
+		p.b = p.a * 2
+		total += p.b
+	}
+	return total
+}
+
+func maxTrackingViaBuiltinOK(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		best = max(best, v)
+	}
+	return best
+}
+
+func allowedEmit(m map[string]int) {
+	//ncsw:allow maprange fixture: output order pinned by the caller
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+func sliceRangeIsNotChecked(s []int, ch chan int) {
+	for _, v := range s {
+		ch <- v
+	}
+}

@@ -1,0 +1,40 @@
+// Package seededrand exercises the seededrand analyzer: the
+// process-global math/rand (v1 and v2) top-level functions are
+// findings everywhere; explicitly seeded generators and type
+// references are not.
+package seededrand
+
+import (
+	"math/rand"
+	v2 "math/rand/v2"
+)
+
+func bad() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the implicitly seeded process-global source`
+}
+
+func badV2() int {
+	return v2.IntN(10) // want `rand\.IntN draws from the implicitly seeded process-global source`
+}
+
+func badShuffle(s []int) {
+	rand.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] }) // want `rand\.Shuffle draws from`
+}
+
+func seededIsFine() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10)
+}
+
+func seededV2IsFine() uint64 {
+	return v2.NewPCG(1, 2).Uint64()
+}
+
+func typeReferenceIsFine(r *rand.Rand) int {
+	return r.Intn(5)
+}
+
+func allowed() float64 {
+	//ncsw:allow seededrand fixture proves suppression
+	return rand.Float64()
+}

@@ -1,0 +1,9 @@
+package seededrand
+
+import "math/rand"
+
+// Test files are allowlisted: a test may draw throwaway values from
+// the global source without touching any benchmark table.
+func helperRoll() int {
+	return rand.Intn(6)
+}

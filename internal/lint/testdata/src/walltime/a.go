@@ -1,0 +1,45 @@
+// Package walltime exercises the walltime analyzer: wall-clock reads
+// inside internal/ are findings, sim-clock flow and Duration
+// arithmetic are not, and //ncsw:allow suppresses a finding on its
+// line or the line below.
+package walltime
+
+import (
+	wall "time"
+)
+
+func bad() wall.Time {
+	wall.Sleep(wall.Millisecond) // want `time\.Sleep reads the wall clock`
+	return wall.Now()            // want `time\.Now reads the wall clock`
+}
+
+func badSince(t0 wall.Time) wall.Duration {
+	return wall.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+func badAfter() {
+	<-wall.After(wall.Second) // want `time\.After reads the wall clock`
+}
+
+func badTicker() *wall.Ticker {
+	return wall.NewTicker(wall.Second) // want `time\.NewTicker reads the wall clock`
+}
+
+func allowedAbove() wall.Time {
+	//ncsw:allow walltime fixture proves line-above suppression
+	return wall.Now()
+}
+
+func allowedTrailing() wall.Time {
+	return wall.Now() //ncsw:allow walltime fixture proves same-line suppression
+}
+
+func wrongAnalyzer() wall.Time {
+	//ncsw:allow seededrand a directive naming another analyzer must not suppress
+	return wall.Now() // want `time\.Now reads the wall clock`
+}
+
+func durationsAreFine() wall.Duration {
+	d := 3 * wall.Second
+	return d.Round(wall.Millisecond)
+}

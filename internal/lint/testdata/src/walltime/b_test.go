@@ -1,0 +1,10 @@
+package walltime
+
+import "time"
+
+// Test files are allowlisted: harness timeouts and wall-clock
+// bookkeeping in tests never reach a benchmark table.
+func helperNow() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

@@ -1,0 +1,15 @@
+// Command walltimecmd exercises the walltime analyzer's cmd/
+// allowlist: binaries outside internal/ keep their real-time progress
+// meters, so nothing in this file is a finding.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	fmt.Println(time.Since(start))
+}

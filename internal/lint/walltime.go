@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallFuncs are the package-level time functions that read or wait on
+// the host's wall clock. Everything else in package time (Duration
+// arithmetic, formatting, constants) is deterministic and allowed.
+var wallFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Walltime reports wall-clock reads and host timers inside internal/
+// packages. Every instant a simulation experiment observes must come
+// from the virtual clock (sim.Proc.Now / sim.Env), or two runs of the
+// same experiment stop being byte-identical (DESIGN.md §4). cmd/ and
+// examples/ binaries sit outside internal/ and may keep real-time
+// progress meters; *_test.go files are allowlisted for timeouts and
+// harness bookkeeping.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc:  "forbid time.Now/Since/Sleep/After and friends inside internal/ — all time flows through the sim clock",
+	Run: func(pass *Pass) {
+		if !isInternalPkg(pass.Path) {
+			return
+		}
+		for _, f := range pass.Files {
+			if isTestFile(pass.Filename(f.Pos())) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if pkgPathOf(pass, sel) == "time" && wallFuncs[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(), "time.%s reads the wall clock; inside internal/ all time must flow through the sim clock (sim.Proc.Now)", sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// pkgPathOf returns the import path of the package a selector's
+// qualifier names ("" when the qualifier is not a package, e.g. a
+// field access). Alias-proof: it resolves through the type-checker,
+// not the source spelling.
+func pkgPathOf(pass *Pass, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}

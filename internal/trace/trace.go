@@ -16,14 +16,22 @@ type Kind string
 
 // Span kinds used by the NCSw scheduler and device models.
 const (
-	Fork    Kind = "fork"
-	Load    Kind = "load" // host -> device input transfer + queue
-	Exec    Kind = "exec" // VPU kernels running
-	Read    Kind = "read" // result retrieval
-	Join    Kind = "join"
-	Compute Kind = "compute" // host-side batch compute (CPU/GPU)
-	Fault   Kind = "fault"   // fault injection (instant, or a slowdown window)
-	Down    Kind = "down"    // detected outage: detection to rejoin/abandonment
+	// Fork marks a worker being spawned.
+	Fork Kind = "fork"
+	// Load is the host -> device input transfer plus queueing.
+	Load Kind = "load"
+	// Exec is VPU kernels running.
+	Exec Kind = "exec"
+	// Read is result retrieval from the device.
+	Read Kind = "read"
+	// Join marks a worker being joined.
+	Join Kind = "join"
+	// Compute is host-side batch compute (CPU/GPU).
+	Compute Kind = "compute"
+	// Fault is a fault injection (instant, or a slowdown window).
+	Fault Kind = "fault"
+	// Down is a detected outage: detection to rejoin/abandonment.
+	Down Kind = "down"
 )
 
 // Span is one labelled interval on one track (a device or thread).
