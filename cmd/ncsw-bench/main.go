@@ -18,6 +18,10 @@
 //	ncsw-bench -faults -json           # machine-readable resilience points (BENCH_PR4.json)
 //	ncsw-bench -hedge                  # p99/goodput vs hedge trigger, with and without faults
 //	ncsw-bench -hedge -json            # machine-readable hedge points (BENCH_PR5.json)
+//	ncsw-bench -kernel                 # simulation-kernel microbenchmarks vs pre-rewrite baseline
+//	ncsw-bench -kernel -json           # machine-readable kernel points (BENCH_PR7.json)
+//	ncsw-bench -cpuprofile cpu.pprof   # write a CPU profile of the run (any mode)
+//	ncsw-bench -memprofile mem.pprof   # write an allocation profile at exit (any mode)
 package main
 
 import (
@@ -26,6 +30,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -53,9 +59,38 @@ func main() {
 		"run the resilience experiment (goodput/p99 under injected faults, self-healing recovery vs fail-stop)")
 	hedge := flag.Bool("hedge", false,
 		"run the hedge experiment (p99/goodput vs hedge trigger, with and without faults)")
+	kernel := flag.Bool("kernel", false,
+		"run the simulation-kernel microbenchmarks (ops/sec and allocs/op per hot path vs the committed pre-rewrite baseline)")
 	jsonOut := flag.Bool("json", false,
-		"with -serve, -slo, -faults or -hedge: emit the experiment's points as JSON (the BENCH_PR*.json format)")
+		"with -serve, -slo, -faults, -hedge or -kernel: emit the experiment's points as JSON (the BENCH_PR*.json format)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // surface live heap accurately
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	if *hetero {
 		n := *images
@@ -87,22 +122,22 @@ func main() {
 
 	ids := repro.ExperimentIDs()
 	if *experiment != "all" {
-		if *serve || *slo || *faults || *hedge {
-			log.Fatal("-serve/-slo/-faults/-hedge and -experiment are mutually exclusive (use -experiment serving,slo,resilience,hedge to mix)")
+		if *serve || *slo || *faults || *hedge || *kernel {
+			log.Fatal("-serve/-slo/-faults/-hedge/-kernel and -experiment are mutually exclusive (use -experiment serving,slo,resilience,hedge,kernel to mix)")
 		}
 		ids = strings.Split(*experiment, ",")
 	}
 	modes := 0
-	for _, on := range []bool{*serve, *slo, *faults, *hedge} {
+	for _, on := range []bool{*serve, *slo, *faults, *hedge, *kernel} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		log.Fatal("-serve, -slo, -faults and -hedge are mutually exclusive")
+		log.Fatal("-serve, -slo, -faults, -hedge and -kernel are mutually exclusive")
 	}
 	if *jsonOut && modes == 0 {
-		log.Fatal("-json requires -serve, -slo, -faults or -hedge (only their points have a JSON form)")
+		log.Fatal("-json requires -serve, -slo, -faults, -hedge or -kernel (only their points have a JSON form)")
 	}
 	if *serve {
 		if *jsonOut {
@@ -131,6 +166,13 @@ func main() {
 			return
 		}
 		ids = []string{"hedge"}
+	}
+	if *kernel {
+		if *jsonOut {
+			emitKernelJSON(h)
+			return
+		}
+		ids = []string{"kernel"}
 	}
 	for _, id := range ids {
 		start := time.Now()
@@ -222,6 +264,29 @@ func emitHedgeJSON(h *repro.Benchmarks) {
 		Experiment string             `json:"experiment"`
 		Points     []repro.HedgePoint `json:"points"`
 	}{Experiment: "hedge", Points: points}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// emitKernelJSON runs the simulation-kernel microbenchmarks and emits
+// the machine-readable points (per hot path: measured ops/sec and
+// exact allocs/op next to the committed pre-rewrite baseline) that
+// scripts/bench.sh stores as the current PR's BENCH_PR*.json snapshot.
+// Unlike the simulated experiments these are wall-clock numbers: two
+// emissions differ, and cross-machine comparisons are apples to
+// oranges — the committed snapshot documents one machine's
+// before/after.
+func emitKernelJSON(h *repro.Benchmarks) {
+	points, err := h.KernelPoints()
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Experiment string              `json:"experiment"`
+		Points     []repro.KernelPoint `json:"points"`
+	}{Experiment: "kernel", Points: points}); err != nil {
 		log.Fatal(err)
 	}
 }

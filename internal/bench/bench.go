@@ -199,6 +199,7 @@ func (h *Harness) All() ([]*Table, error) {
 		{"slo", h.SLO},
 		{"resilience", h.Resilience},
 		{"hedge", h.Hedge},
+		{"kernel", h.Kernel},
 	}
 	var out []*Table
 	for _, g := range gens {
@@ -242,6 +243,8 @@ func (h *Harness) Experiment(id string) (*Table, error) {
 		return h.Resilience()
 	case "hedge":
 		return h.Hedge()
+	case "kernel":
+		return h.Kernel()
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", id, ExperimentIDs())
 	}
@@ -263,5 +266,5 @@ func precisionImages(cfg Config) int {
 // ExperimentIDs lists the available artefacts: the paper's figures in
 // order, the headline summary, and the beyond-the-paper studies.
 func ExperimentIDs() []string {
-	return []string{"fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "summary", "ablation", "precision", "gemm", "serving", "slo", "resilience", "hedge"}
+	return []string{"fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "summary", "ablation", "precision", "gemm", "serving", "slo", "resilience", "hedge", "kernel"}
 }

@@ -102,7 +102,7 @@ func TestExperimentDispatch(t *testing.T) {
 		t.Error("unknown experiment accepted")
 	}
 	ids := ExperimentIDs()
-	if len(ids) != 14 {
+	if len(ids) != 15 {
 		t.Errorf("ExperimentIDs = %v", ids)
 	}
 }

@@ -1,0 +1,18 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+func TestCaptureKernelBaseline(t *testing.T) {
+	if os.Getenv("NCSW_CAPTURE_KERNEL_BASELINE") == "" {
+		t.Skip("capture disabled")
+	}
+	for _, w := range kernelWorkloads() {
+		p := measureKernel(w.name, w.fn)
+		fmt.Printf("%q: {nsPerOp: %g, allocsPerOp: %g, bytesPerOp: %g},\n",
+			p.Bench, p.NsPerOp, p.AllocsPerOp, p.BytesPerOp)
+	}
+}

@@ -95,7 +95,12 @@ func (hc HedgeConfig) minSamples() int {
 	return DefaultHedgeMinSamples
 }
 
-// hedgeEntry tracks one in-flight item's hedge state.
+// hedgeEntry tracks one in-flight item's hedge state. Entries are
+// recycled through the hedger's freelist (the kernel is
+// single-threaded, so no sync.Pool is needed): fireFn is built once
+// per physical entry and survives recycling, so the steady-state item
+// lifecycle — track, timer arm, completion, release — allocates
+// nothing.
 type hedgeEntry struct {
 	item       Item
 	dispatched time.Duration
@@ -103,7 +108,8 @@ type hedgeEntry struct {
 	hedged     bool
 	hedgeChild int  // child the duplicate landed on (when hedged)
 	done       bool // first completion delivered; any later copy is a loser
-	cancel     func()
+	timer      sim.Timer
+	fireFn     func()
 }
 
 // hedger is the shared hedged-request engine behind Pool and
@@ -121,8 +127,9 @@ type hedger struct {
 	cfg        HedgeConfig
 	ages       stats.Sample // completion ages (seconds, dispatch → first completion)
 	entries    map[int]*hedgeEntry
-	tracked    int // primary dispatches seen (the budget denominator)
-	launched   int // duplicates issued
+	free       []*hedgeEntry // recycled entries (single-threaded freelist)
+	tracked    int           // primary dispatches seen (the budget denominator)
+	launched   int           // duplicates issued
 	redispatch func(item Item, exclude int) (int, bool)
 	cancelCopy func(index, child int) bool
 	// trigCache memoizes the quantile-derived trigger per sample size:
@@ -145,6 +152,40 @@ func newHedger(env *sim.Env, cfg HedgeConfig, redispatch func(Item, int) (int, b
 		redispatch: redispatch,
 		cancelCopy: cancelCopy,
 	}
+}
+
+// getEntry takes an entry from the freelist, or builds a fresh one
+// with its permanent fire closure (the one allocation an entry ever
+// makes, amortized away by recycling).
+func (h *hedger) getEntry() *hedgeEntry {
+	if n := len(h.free); n > 0 {
+		e := h.free[n-1]
+		h.free = h.free[:n-1]
+		return e
+	}
+	e := &hedgeEntry{}
+	e.fireFn = func() {
+		e.timer = 0
+		h.fire(e)
+	}
+	return e
+}
+
+// putEntry releases an entry back to the freelist, dropping every
+// reference it holds (the Item may pin a tensor) but keeping its
+// permanent fire closure. The caller must have cancelled any armed
+// timer first — a recycled entry with a live timer would fire for the
+// wrong item.
+func (h *hedger) putEntry(e *hedgeEntry) {
+	fn := e.fireFn
+	*e = hedgeEntry{fireFn: fn}
+	h.free = append(h.free, e)
+}
+
+// release removes an entry from tracking and recycles it.
+func (h *hedger) release(index int, e *hedgeEntry) {
+	delete(h.entries, index)
+	h.putEntry(e)
 }
 
 // triggerFor returns the current hedge trigger: the live quantile once
@@ -182,7 +223,8 @@ func (h *hedger) track(item Item, child int, now time.Duration) {
 		return
 	}
 	h.tracked++
-	e := &hedgeEntry{item: item, dispatched: now, primary: child}
+	e := h.getEntry()
+	e.item, e.dispatched, e.primary = item, now, child
 	h.entries[item.Index] = e
 	trigger, ok := h.triggerFor()
 	if !ok {
@@ -195,10 +237,7 @@ func (h *hedger) track(item Item, child int, now time.Duration) {
 		// to the horizon.
 		return
 	}
-	e.cancel = h.env.AtCancelable(now+trigger, func() {
-		e.cancel = nil
-		h.fire(e)
-	})
+	e.timer = h.env.TimerAt(now+trigger, e.fireFn)
 }
 
 // fire launches the duplicate for one aged item, if it is still in
@@ -233,16 +272,19 @@ func (h *hedger) complete(index, child int, now time.Duration) bool {
 		return true // untracked (dispatched before hedging armed): deliver
 	}
 	if e.done {
+		// Out of the map before the callback (which may re-enter via
+		// settled), recycled only after it (it still reads e.item).
 		delete(h.entries, index)
 		if h.cfg.OnWaste != nil {
 			h.cfg.OnWaste(e.item, child, now)
 		}
+		h.putEntry(e)
 		return false
 	}
 	e.done = true
-	if e.cancel != nil {
-		e.cancel()
-		e.cancel = nil
+	if e.timer != 0 {
+		h.env.Cancel(e.timer)
+		e.timer = 0
 	}
 	if age := now - e.dispatched; age > 0 {
 		h.ages.Add(age.Seconds())
@@ -250,7 +292,7 @@ func (h *hedger) complete(index, child int, now time.Duration) bool {
 		h.ages.Add(0)
 	}
 	if !e.hedged {
-		delete(h.entries, index)
+		h.release(index, e)
 		return true
 	}
 	loser := e.hedgeChild
@@ -261,7 +303,7 @@ func (h *hedger) complete(index, child int, now time.Duration) bool {
 		}
 	}
 	if h.cancelCopy != nil && h.cancelCopy(index, loser) {
-		delete(h.entries, index) // loser reclaimed before service: no waste
+		h.release(index, e) // loser reclaimed before service: no waste
 	}
 	return true
 }
@@ -277,7 +319,7 @@ func (h *hedger) settled(index int) bool {
 		return false
 	}
 	if e.done {
-		delete(h.entries, index)
+		h.release(index, e)
 		return true
 	}
 	return false
@@ -315,7 +357,7 @@ func (h *hedger) copyLost(index, child int) bool {
 		return true
 	}
 	if e.done {
-		delete(h.entries, index)
+		h.release(index, e)
 		return false
 	}
 	if e.hedged {
@@ -325,11 +367,11 @@ func (h *hedger) copyLost(index, child int) bool {
 		}
 		return false
 	}
-	if e.cancel != nil {
-		e.cancel()
-		e.cancel = nil
+	if e.timer != 0 {
+		h.env.Cancel(e.timer)
+		e.timer = 0
 	}
-	delete(h.entries, index)
+	h.release(index, e)
 	return true
 }
 

@@ -8,13 +8,21 @@ import (
 // Queue is a FIFO channel between simulated processes, optionally
 // bounded. It models the NCS inference FIFO (bounded: the device
 // accepts a limited number of queued tensors) and result mailboxes.
+//
+// Storage is a growable power-of-two ring buffer, so steady-state
+// Put/Get churn allocates nothing and never shifts elements; blocked
+// getters and putters sit on intrusive wait lists (links embedded in
+// Proc), so waiting allocates nothing and timeout removal is O(1).
 type Queue[T any] struct {
 	env      *Env
 	name     string
 	capacity int // 0 = unbounded
-	items    []T
-	getters  []*Proc
-	putters  []*Proc
+	// Ring buffer: n items starting at buf[head], wrapping modulo
+	// len(buf) (always a power of two; empty until first use).
+	buf     []T
+	head, n int
+	getters waitList
+	putters waitList
 	// peak tracks the high-water mark for reporting.
 	peak int
 }
@@ -29,10 +37,47 @@ func NewQueue[T any](e *Env, name string, capacity int) *Queue[T] {
 }
 
 // Len returns the number of buffered items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.n }
 
 // Capacity returns the current bound (0 = unbounded).
 func (q *Queue[T]) Capacity() int { return q.capacity }
+
+// grow doubles the ring (min 8 slots), unwrapping into FIFO order.
+// Called only when the ring is completely full, so every slot is live.
+func (q *Queue[T]) grow() {
+	size := len(q.buf) * 2
+	if size == 0 {
+		size = 8
+	}
+	buf := make([]T, size)
+	k := copy(buf, q.buf[q.head:])
+	copy(buf[k:], q.buf[:q.head])
+	q.buf = buf
+	q.head = 0
+}
+
+// pushBack appends v at the tail of the ring and updates the peak.
+func (q *Queue[T]) pushBack(v T) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = v
+	q.n++
+	if q.n > q.peak {
+		q.peak = q.n
+	}
+}
+
+// popFront removes and returns the oldest item, zeroing the slot so
+// the ring never pins dead values.
+func (q *Queue[T]) popFront() T {
+	var zero T
+	v := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return v
+}
 
 // SetCapacity rebounds the queue to capacity n (0 = unbounded).
 // Shrinking below the current occupancy evicts nothing — the queue
@@ -46,13 +91,15 @@ func (q *Queue[T]) SetCapacity(n int) {
 		panic(fmt.Sprintf("sim: queue %q negative capacity", q.name))
 	}
 	q.capacity = n
-	room := len(q.putters)
+	room := q.putters.len()
 	if n > 0 {
-		room = n - len(q.items)
+		room = n - q.n
 	}
-	for i := 0; i < room && len(q.putters) > 0; i++ {
-		w := q.putters[0]
-		q.putters = q.putters[1:]
+	for i := 0; i < room; i++ {
+		w := q.putters.pop()
+		if w == nil {
+			break
+		}
 		w.wake()
 	}
 }
@@ -64,16 +111,32 @@ func (q *Queue[T]) SetCapacity(n int) {
 // other copy completes, so no device time is spent serving it.
 func (q *Queue[T]) RemoveWhere(pred func(T) bool) (T, bool) {
 	var zero T
-	for i, v := range q.items {
-		if pred(v) {
-			q.items = append(q.items[:i], q.items[i+1:]...)
-			if len(q.putters) > 0 {
-				w := q.putters[0]
-				q.putters = q.putters[1:]
-				w.wake()
-			}
-			return v, true
+	mask := len(q.buf) - 1
+	for i := 0; i < q.n; i++ {
+		idx := (q.head + i) & mask
+		if !pred(q.buf[idx]) {
+			continue
 		}
+		v := q.buf[idx]
+		// Close the gap by shifting whichever side is shorter,
+		// preserving FIFO order of the survivors.
+		if i < q.n-1-i {
+			for j := i; j > 0; j-- {
+				q.buf[(q.head+j)&mask] = q.buf[(q.head+j-1)&mask]
+			}
+			q.buf[q.head] = zero
+			q.head = (q.head + 1) & mask
+		} else {
+			for j := i; j < q.n-1; j++ {
+				q.buf[(q.head+j)&mask] = q.buf[(q.head+j+1)&mask]
+			}
+			q.buf[(q.head+q.n-1)&mask] = zero
+		}
+		q.n--
+		if w := q.putters.pop(); w != nil {
+			w.wake()
+		}
+		return v, true
 	}
 	return zero, false
 }
@@ -86,33 +149,23 @@ func (q *Queue[T]) Name() string { return q.name }
 
 // Put appends v, blocking while the queue is full.
 func (q *Queue[T]) Put(p *Proc, v T) {
-	for q.capacity > 0 && len(q.items) >= q.capacity {
-		q.putters = append(q.putters, p)
+	for q.capacity > 0 && q.n >= q.capacity {
+		q.putters.push(p)
 		p.blockUnscheduled()
 	}
-	q.items = append(q.items, v)
-	if len(q.items) > q.peak {
-		q.peak = len(q.items)
-	}
-	if len(q.getters) > 0 {
-		g := q.getters[0]
-		q.getters = q.getters[1:]
+	q.pushBack(v)
+	if g := q.getters.pop(); g != nil {
 		g.wake()
 	}
 }
 
 // TryPut appends v without blocking; it reports success.
 func (q *Queue[T]) TryPut(v T) bool {
-	if q.capacity > 0 && len(q.items) >= q.capacity {
+	if q.capacity > 0 && q.n >= q.capacity {
 		return false
 	}
-	q.items = append(q.items, v)
-	if len(q.items) > q.peak {
-		q.peak = len(q.items)
-	}
-	if len(q.getters) > 0 {
-		g := q.getters[0]
-		q.getters = q.getters[1:]
+	q.pushBack(v)
+	if g := q.getters.pop(); g != nil {
 		g.wake()
 	}
 	return true
@@ -130,67 +183,44 @@ func (q *Queue[T]) GetWithin(p *Proc, d time.Duration) (T, bool) {
 		panic(fmt.Sprintf("sim: queue %q GetWithin with negative wait %v", q.name, d))
 	}
 	deadline := p.env.now + d
-	for len(q.items) == 0 {
+	for q.n == 0 {
 		if p.env.now >= deadline {
 			return zero, false
 		}
-		timedOut := false
-		// The timer is cancellable so the usual case — an item arrives
-		// well before the deadline — leaves no residue: a stale timer
-		// firing later could only wake p spuriously, and one still
-		// pending when the run drains would drag the clock (and thus
-		// SimTime and energy integrals) past the real end of the run.
-		cancel := p.env.AtCancelable(deadline, func() {
-			// Fires only if p is still parked as a getter of this
-			// queue (a putter may have woken p first; dropGetter then
-			// misses).
-			if q.dropGetter(p) {
-				timedOut = true
-				p.wake()
-			}
-		})
-		q.getters = append(q.getters, p)
+		// The timeout is an index-cancellable wakeup event: it fires
+		// only if p is still parked on the getter list (a putter may
+		// have woken p first at the same instant), and the usual case
+		// — an item arrives well before the deadline — cancels it so a
+		// stale timer cannot wake p spuriously or drag the clock (and
+		// thus SimTime and energy integrals) past the real end of the
+		// run. The whole wait allocates nothing: slot-recycled timer,
+		// intrusive wait list, flag on the Proc itself.
+		tm := p.env.timeoutAt(deadline, p)
+		q.getters.push(p)
 		p.blockUnscheduled()
-		if timedOut {
+		if p.timedOut {
+			p.timedOut = false
 			return zero, false
 		}
-		cancel()
+		p.env.Cancel(tm)
 		// Woken by a putter; re-check in case another consumer took
 		// the item at the same instant.
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	if len(q.putters) > 0 {
-		w := q.putters[0]
-		q.putters = q.putters[1:]
+	v := q.popFront()
+	if w := q.putters.pop(); w != nil {
 		w.wake()
 	}
 	return v, true
 }
 
-// dropGetter removes p from the getter wait list, reporting whether
-// it was parked there.
-func (q *Queue[T]) dropGetter(p *Proc) bool {
-	for i, g := range q.getters {
-		if g == p {
-			q.getters = append(q.getters[:i], q.getters[i+1:]...)
-			return true
-		}
-	}
-	return false
-}
-
 // Get removes and returns the oldest item, blocking while empty.
 func (q *Queue[T]) Get(p *Proc) T {
-	for len(q.items) == 0 {
-		q.getters = append(q.getters, p)
+	for q.n == 0 {
+		q.getters.push(p)
 		p.blockUnscheduled()
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	if len(q.putters) > 0 {
-		w := q.putters[0]
-		q.putters = q.putters[1:]
+	v := q.popFront()
+	if w := q.putters.pop(); w != nil {
 		w.wake()
 	}
 	return v
@@ -199,14 +229,11 @@ func (q *Queue[T]) Get(p *Proc) T {
 // TryGet removes the oldest item without blocking.
 func (q *Queue[T]) TryGet() (T, bool) {
 	var zero T
-	if len(q.items) == 0 {
+	if q.n == 0 {
 		return zero, false
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	if len(q.putters) > 0 {
-		w := q.putters[0]
-		q.putters = q.putters[1:]
+	v := q.popFront()
+	if w := q.putters.pop(); w != nil {
 		w.wake()
 	}
 	return v, true

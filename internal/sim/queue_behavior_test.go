@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// Behavior locks captured before the PR 7 ring-buffer rewrite: these
+// pin down two deliberately-kept quirks of the original slice-backed
+// queue so the rewrite cannot silently change them.
+
+// Peak is a high-water mark for the whole queue lifetime — it is
+// never reset, not even when the queue fully drains or is re-filled to
+// lower occupancy afterwards.
+func TestQueuePeakIsNeverReset(t *testing.T) {
+	e := NewEnv()
+	q := NewQueue[int](e, "q", 0)
+	for i := 0; i < 5; i++ {
+		q.TryPut(i)
+	}
+	if q.Peak() != 5 {
+		t.Fatalf("peak = %d, want 5", q.Peak())
+	}
+	for i := 0; i < 5; i++ {
+		q.TryGet()
+	}
+	if q.Len() != 0 || q.Peak() != 5 {
+		t.Errorf("after drain: len %d peak %d, want 0/5", q.Len(), q.Peak())
+	}
+	q.TryPut(1)
+	q.TryPut(2)
+	if q.Peak() != 5 {
+		t.Errorf("peak after lower re-fill = %d, want the lifetime high-water 5", q.Peak())
+	}
+	q.TryGet()
+	q.TryGet()
+	if q.Peak() != 5 {
+		t.Errorf("peak after second drain = %d, want 5", q.Peak())
+	}
+}
+
+// Shrinking a queue below its occupancy evicts nothing and wakes no
+// putter (the "room" is negative); the queue stays over-full until
+// consumers drain it, with Put blocking and TryPut failing meanwhile,
+// and blocked putters wake only once real room appears.
+func TestQueueSetCapacityShrinkBelowOccupancy(t *testing.T) {
+	e := NewEnv()
+	q := NewQueue[int](e, "q", 4)
+	for i := 0; i < 4; i++ {
+		if !q.TryPut(i) {
+			t.Fatalf("TryPut %d failed on empty queue", i)
+		}
+	}
+	var blockedPutAt time.Duration
+	e.Process("putter", func(p *Proc) {
+		q.Put(p, 99) // full: blocks
+		blockedPutAt = p.Now()
+	})
+	e.Process("driver", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		// Shrink below occupancy: 4 items remain in a capacity-2 queue,
+		// nothing is evicted, the blocked putter must NOT wake (room is
+		// 2-4 = -2).
+		q.SetCapacity(2)
+		if q.Len() != 4 {
+			t.Errorf("after shrink: len %d, want all 4 items kept", q.Len())
+		}
+		if q.TryPut(100) {
+			t.Error("TryPut succeeded on an over-full queue")
+		}
+		p.Sleep(time.Millisecond)
+		// Draining down to the new bound still leaves no room; the
+		// putter stays blocked until occupancy < capacity.
+		q.TryGet()
+		q.TryGet() // len 2 == cap 2: still full
+		p.Sleep(time.Millisecond)
+		if blockedPutAt != 0 {
+			t.Errorf("putter woke at %v with the queue still at capacity", blockedPutAt)
+		}
+		q.TryGet() // len 1 < cap 2: TryGet wakes the putter
+	})
+	e.Run()
+	if blockedPutAt != 3*time.Millisecond {
+		t.Errorf("blocked put completed at %v, want 3ms (first real room)", blockedPutAt)
+	}
+	if q.Len() != 2 {
+		t.Errorf("final len = %d, want 2 (one drained slot re-filled by the putter)", q.Len())
+	}
+}
+
+// Growing the capacity wakes exactly as many blocked putters as there
+// is room for, in FIFO order.
+func TestQueueSetCapacityGrowWakesFIFO(t *testing.T) {
+	e := NewEnv()
+	q := NewQueue[int](e, "q", 1)
+	q.TryPut(0)
+	var order []int
+	for i := 1; i <= 3; i++ {
+		i := i
+		e.Process("putter", func(p *Proc) {
+			q.Put(p, i)
+			order = append(order, i)
+		})
+	}
+	e.Process("driver", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		q.SetCapacity(3) // room for 2 of the 3 blocked putters
+		p.Sleep(time.Millisecond)
+		if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+			t.Errorf("woken putters = %v, want [1 2] (FIFO)", order)
+		}
+		q.SetCapacity(0) // unbounded: the rest drain
+	})
+	e.Run()
+	if len(order) != 3 || order[2] != 3 {
+		t.Errorf("final put order = %v, want [1 2 3]", order)
+	}
+	if q.Len() != 4 {
+		t.Errorf("len = %d, want 4", q.Len())
+	}
+}

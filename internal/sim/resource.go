@@ -10,7 +10,7 @@ type Resource struct {
 	name     string
 	capacity int
 	inUse    int
-	waiters  []*Proc
+	waiters  waitList
 	// accounting
 	totalAcquisitions int
 	busyTime          int64 // integral of inUse over time, in unit·ns
@@ -35,7 +35,7 @@ func (r *Resource) Capacity() int { return r.capacity }
 func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen returns the number of blocked waiters.
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+func (r *Resource) QueueLen() int { return r.waiters.len() }
 
 func (r *Resource) stamp() {
 	now := int64(r.env.now)
@@ -45,20 +45,20 @@ func (r *Resource) stamp() {
 
 // Acquire blocks p until a unit is available, then holds it.
 func (r *Resource) Acquire(p *Proc) {
-	if r.inUse < r.capacity && len(r.waiters) == 0 {
+	if r.inUse < r.capacity && r.waiters.empty() {
 		r.stamp()
 		r.inUse++
 		r.totalAcquisitions++
 		return
 	}
-	r.waiters = append(r.waiters, p)
+	r.waiters.push(p)
 	p.blockUnscheduled()
 	// Release transferred the unit to us before waking.
 }
 
 // TryAcquire takes a unit without blocking; it reports success.
 func (r *Resource) TryAcquire() bool {
-	if r.inUse < r.capacity && len(r.waiters) == 0 {
+	if r.inUse < r.capacity && r.waiters.empty() {
 		r.stamp()
 		r.inUse++
 		r.totalAcquisitions++
@@ -73,11 +73,9 @@ func (r *Resource) Release() {
 	if r.inUse <= 0 {
 		panic(fmt.Sprintf("sim: release of idle resource %q", r.name))
 	}
-	if len(r.waiters) > 0 {
+	if w := r.waiters.pop(); w != nil {
 		// Hand the unit directly to the next waiter: inUse stays
 		// constant, so no other process can steal it in between.
-		w := r.waiters[0]
-		r.waiters = r.waiters[1:]
 		r.totalAcquisitions++
 		w.wake()
 		return

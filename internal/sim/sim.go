@@ -15,11 +15,19 @@
 // to park (block on a primitive) or terminate before dispatching the
 // next event. Event order is a strict (time, sequence) lexicographic
 // order, so simulations are reproducible bit-for-bit.
+//
+// Performance model (DESIGN.md §9): the event queue is a
+// hand-specialized 4-ary min-heap over a reused backing array (no
+// container/heap, no interface boxing — scheduling is allocation-free
+// in steady state), timers cancel through index-based slots instead of
+// per-timer heap flags, callback-only events dispatch without touching
+// the process machinery, and each process reuses a single rendezvous
+// channel for every park/resume handoff of its lifetime.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
 	"time"
 )
 
@@ -27,78 +35,248 @@ import (
 // Create with NewEnv; not safe for concurrent use by multiple OS
 // threads outside the process protocol.
 type Env struct {
-	now    time.Duration
-	seq    uint64
-	events eventHeap
-	// parked is signaled by the running process when it blocks or
-	// terminates, returning control to the scheduler.
-	parked chan struct{}
+	now time.Duration
+	seq uint64
+	// The event queue is a 4-ary min-heap ordered by (t, seq), stored
+	// structure-of-arrays: keys (16 bytes — four children fit in one
+	// cache line during sift-down) are compared, vals (payload) move
+	// alongside. Both backing arrays are reused across the run, so
+	// scheduling is allocation-free in steady state.
+	keys []eventKey
+	vals []eventVal
+	// timers holds the cancellation slots of pending cancellable
+	// timers; timerFree recycles slots so arming a timer never
+	// allocates in steady state.
+	timers    []timerSlot
+	timerFree []int32
 	// active counts live (started, unterminated) processes, to detect
 	// deadlock: events exhausted while processes still wait.
 	active int
 	// waiting counts processes parked on resources/queues with no
-	// pending event (they can only be woken by another process).
+	// pending event (they can only be woken by another process); it
+	// feeds the deadlock diagnostic.
 	waiting int
 }
 
 // NewEnv creates an empty simulation at time zero.
-func NewEnv() *Env {
-	return &Env{parked: make(chan struct{})}
-}
+func NewEnv() *Env { return &Env{} }
 
 // Now returns the current virtual time.
 func (e *Env) Now() time.Duration { return e.now }
 
-type event struct {
+// eventKey is the heap-ordering half of an event: strict (t, seq)
+// lexicographic order, so dispatch is deterministic.
+type eventKey struct {
 	t   time.Duration
 	seq uint64
-	p   *Proc  // process to resume, if any
-	fn  func() // callback to run, if any
-	// cancelled, when set and true at dispatch time, skips the event
-	// entirely — no callback, and crucially no clock advance, so a
-	// cancelled timer left at the end of a run cannot inflate the
-	// simulation horizon.
-	cancelled *bool
 }
 
-type eventHeap []event
+// eventVal is the payload half of an event. Exactly one of p/fn is set
+// by internal schedulers: fn-only events are callbacks dispatched
+// without touching the process machinery; p-only events resume a
+// parked process. An event with timer != 0 is cancellable: timer-1
+// indexes the Env.timers slot holding its cancellation flag, and a
+// timer event carrying p is a queue-timeout wakeup (it fires only if p
+// is still parked on a wait list).
+type eventVal struct {
+	p     *Proc
+	fn    func()
+	timer int32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// timerSlot is the cancellation state of one pending cancellable
+// timer. gen guards handle reuse: a slot is freed (gen bumped) when
+// its event dispatches, so a stale Cancel through an old handle is a
+// no-op instead of killing an unrelated timer.
+type timerSlot struct {
+	gen       uint32
+	cancelled bool
+}
+
+// keyLess reports the strict (t, seq) heap order as one branchless
+// 128-bit unsigned compare (t is never negative): the min-child scans
+// in pop run on random keys, so an ||/&& formulation would mispredict
+// about half its branches — the borrow chain keeps flags out of the
+// branch predictor entirely.
+func keyLess(a, b eventKey) bool {
+	_, borrow := bits.Sub64(a.seq, b.seq, 0)
+	_, borrow = bits.Sub64(uint64(a.t), uint64(b.t), borrow)
+	return borrow != 0
+}
+
+// keyLessMask is keyLess returning an all-ones mask instead of a bool,
+// feeding the masked selects below without a conditional move the
+// compiler may or may not emit.
+func keyLessMask(a, b eventKey) uint64 {
+	_, borrow := bits.Sub64(a.seq, b.seq, 0)
+	_, borrow = bits.Sub64(uint64(a.t), uint64(b.t), borrow)
+	return -borrow
+}
+
+// isel returns a (mask == 0) or b (mask == all-ones), branch-free.
+func isel(a, b int, mask uint64) int {
+	return int(uint64(a) ^ (uint64(a)^uint64(b))&mask)
+}
+
+// ksel returns key a (mask == 0) or b (mask == all-ones), branch-free.
+func ksel(a, b eventKey, mask uint64) eventKey {
+	a.t = time.Duration(uint64(a.t) ^ (uint64(a.t)^uint64(b.t))&mask)
+	a.seq = a.seq ^ (a.seq^b.seq)&mask
+	return a
+}
+
+// push inserts an event into the 4-ary heap, sifting a hole up instead
+// of swapping whole elements.
+func (e *Env) push(key eventKey, val eventVal) {
+	k := append(e.keys, key)
+	v := append(e.vals, val)
+	i := len(k) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		pk := k[parent]
+		if keyLess(pk, key) {
+			break
+		}
+		k[i], v[i] = pk, v[parent]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
+	k[i], v[i] = key, val
+	e.keys, e.vals = k, v
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// pop removes and returns the minimum event, zeroing the vacated
+// payload slot so the backing array never pins dead closures or
+// processes. Sift-down compares only the dense key array — the four
+// children of a node share a cache line.
+func (e *Env) pop() (eventKey, eventVal) {
+	k, v := e.keys, e.vals
+	topK, topV := k[0], v[0]
+	n := len(k) - 1
+	lastK, lastV := k[n], v[n]
+	v[n] = eventVal{}
+	k, v = k[:n], v[:n]
+	e.keys, e.vals = k, v
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			var m int
+			var mk eventKey
+			if c+3 < n {
+				// Full node: tournament min of the four children with
+				// masked selects — zero data-dependent branches, and the
+				// two first-round compares are independent.
+				s01 := keyLessMask(k[c+1], k[c])
+				m0, k0 := isel(c, c+1, s01), ksel(k[c], k[c+1], s01)
+				s23 := keyLessMask(k[c+3], k[c+2])
+				m1, k1 := isel(c+2, c+3, s23), ksel(k[c+2], k[c+3], s23)
+				s := keyLessMask(k1, k0)
+				m, mk = isel(m0, m1, s), ksel(k0, k1, s)
+			} else {
+				m, mk = c, k[c]
+				for j := c + 1; j < n; j++ {
+					jk := k[j]
+					if keyLess(jk, mk) {
+						m, mk = j, jk
+					}
+				}
+			}
+			if keyLess(lastK, mk) {
+				break
+			}
+			k[i], v[i] = mk, v[m]
+			i = m
+		}
+		k[i], v[i] = lastK, lastV
+	}
+	return topK, topV
+}
 
 func (e *Env) schedule(at time.Duration, p *Proc, fn func()) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{t: at, seq: e.seq, p: p, fn: fn})
+	e.push(eventKey{t: at, seq: e.seq}, eventVal{p: p, fn: fn})
 }
 
 // At schedules fn to run as a callback at absolute virtual time t
 // (t >= Now). Callbacks run on the scheduler and must not block.
 func (e *Env) At(t time.Duration, fn func()) { e.schedule(t, nil, fn) }
 
-// AtCancelable schedules fn like At and returns a cancel function.
-// Cancelling before the event fires discards it completely: the
-// callback never runs and the clock never advances to t on its
+// Timer is an index-based handle to a pending cancellable callback
+// (TimerAt) — the allocation-free alternative to AtCancelable's
+// closure. The zero value is no timer; Cancel ignores it.
+type Timer uint64
+
+// armTimer allocates a cancellation slot and returns its handle.
+func (e *Env) armTimer() (int32, Timer) {
+	var slot int32
+	if n := len(e.timerFree); n > 0 {
+		slot = e.timerFree[n-1]
+		e.timerFree = e.timerFree[:n-1]
+	} else {
+		slot = int32(len(e.timers))
+		// gen starts at 1 so a valid handle is never the zero Timer.
+		e.timers = append(e.timers, timerSlot{gen: 1})
+	}
+	e.timers[slot].cancelled = false
+	return slot, Timer(uint64(e.timers[slot].gen)<<32 | uint64(slot+1))
+}
+
+// freeTimer recycles a slot once its event has dispatched, bumping the
+// generation so stale handles die.
+func (e *Env) freeTimer(slot int32) {
+	e.timers[slot].gen++
+	e.timerFree = append(e.timerFree, slot)
+}
+
+// TimerAt schedules fn like At and returns an index-based handle for
+// Cancel. Cancelling before the event fires discards it completely:
+// the callback never runs and the clock never advances to t on its
 // account — the primitive behind timeout timers (Queue.GetWithin)
-// whose deadline usually never arrives.
-func (e *Env) AtCancelable(t time.Duration, fn func()) (cancel func()) {
+// whose deadline usually never arrives. Unlike AtCancelable it
+// allocates nothing in steady state (slots are recycled).
+func (e *Env) TimerAt(t time.Duration, fn func()) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", t, e.now))
 	}
-	flag := new(bool)
+	slot, handle := e.armTimer()
 	e.seq++
-	heap.Push(&e.events, event{t: t, seq: e.seq, fn: fn, cancelled: flag})
-	return func() { *flag = true }
+	e.push(eventKey{t: t, seq: e.seq}, eventVal{fn: fn, timer: slot + 1})
+	return handle
+}
+
+// timeoutAt schedules an index-cancellable wakeup for p: when it fires
+// with p still parked on a wait list, p is removed, marked timed out,
+// and woken. It is the allocation-free engine behind Queue.GetWithin.
+func (e *Env) timeoutAt(t time.Duration, p *Proc) Timer {
+	slot, handle := e.armTimer()
+	e.seq++
+	e.push(eventKey{t: t, seq: e.seq}, eventVal{p: p, timer: slot + 1})
+	return handle
+}
+
+// Cancel discards a pending timer by handle. Cancelling an already
+// fired (or already cancelled) timer is a no-op, as is the zero Timer.
+func (e *Env) Cancel(tm Timer) {
+	slot := int32(uint64(tm)&0xffffffff) - 1
+	if slot < 0 || int(slot) >= len(e.timers) {
+		return
+	}
+	if e.timers[slot].gen == uint32(uint64(tm)>>32) {
+		e.timers[slot].cancelled = true
+	}
+}
+
+// AtCancelable schedules fn like At and returns a cancel function —
+// a closure-based convenience over TimerAt/Cancel.
+func (e *Env) AtCancelable(t time.Duration, fn func()) (cancel func()) {
+	handle := e.TimerAt(t, fn)
+	return func() { e.Cancel(handle) }
 }
 
 // After schedules fn to run after delay d.
@@ -109,14 +287,50 @@ func (e *Env) After(d time.Duration, fn func()) {
 	e.schedule(e.now+d, nil, fn)
 }
 
+// Tick schedules fn as a coalesced repeating callback: first at
+// absolute time start, then every interval for as long as fn returns
+// true. The whole ticker costs one closure for its lifetime and reuses
+// one heap slot per period — the allocation-free, goroutine-free way
+// to run high-frequency periodic work (arrival generation, collector
+// stamping) that a full Process would pay two context switches per
+// period for. fn runs on the scheduler and must not block; it may
+// schedule further events, including at the current instant.
+func (e *Env) Tick(start, interval time.Duration, fn func(now time.Duration) bool) {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: non-positive tick interval %v", interval))
+	}
+	if start < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", start, e.now))
+	}
+	var tick func()
+	tick = func() {
+		if fn(e.now) {
+			e.schedule(e.now+interval, nil, tick)
+		}
+	}
+	e.schedule(start, nil, tick)
+}
+
 // Proc is the handle a simulated process uses to interact with
 // virtual time. It is only valid inside the function passed to
 // Env.Process.
 type Proc struct {
-	env    *Env
-	resume chan struct{}
-	name   string
-	done   bool
+	env *Env
+	// ch is the single rendezvous channel for every park/resume
+	// handoff of this process's lifetime: the scheduler sends to
+	// resume, the process sends to park.
+	ch   chan struct{}
+	name string
+	done bool
+	// Intrusive wait-list links: a parked process sits on exactly one
+	// waitList (queue getters/putters, resource waiters) at a time, so
+	// membership tests and removals are O(1) with no per-wait
+	// allocation.
+	next, prev *Proc
+	waitq      *waitList
+	// timedOut is set by a fired queue-timeout event just before the
+	// wakeup; GetWithin consumes and resets it.
+	timedOut bool
 }
 
 // Name returns the process name (for traces and errors).
@@ -128,24 +342,26 @@ func (p *Proc) Env() *Env { return p.env }
 // Now returns the current virtual time.
 func (p *Proc) Now() time.Duration { return p.env.now }
 
-// park returns control to the scheduler and blocks until resumed.
+// park returns control to the scheduler and blocks until resumed: one
+// send to yield, one receive to wait, both on the process's own
+// rendezvous channel.
 func (p *Proc) park() {
-	p.env.parked <- struct{}{}
-	<-p.resume
+	p.ch <- struct{}{}
+	<-p.ch
 }
 
 // Process starts a new simulated process running fn. The process
 // begins at the current virtual time (after the caller yields). fn
 // must interact with virtual time only through p.
 func (e *Env) Process(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{env: e, resume: make(chan struct{}), name: name}
+	p := &Proc{env: e, ch: make(chan struct{}), name: name}
 	e.active++
 	go func() {
-		<-p.resume // wait for the start event
+		<-p.ch // wait for the start event
 		fn(p)
 		p.done = true
 		e.active--
-		e.parked <- struct{}{}
+		p.ch <- struct{}{}
 	}()
 	e.schedule(e.now, p, nil)
 	return p
@@ -162,7 +378,9 @@ func (p *Proc) Sleep(d time.Duration) {
 }
 
 // blockUnscheduled parks the process with no pending event; it must be
-// woken via wake() by another process (resource release, queue push).
+// woken via wake() by another process (resource release, queue push)
+// or a queue-timeout event. The caller has already pushed p onto the
+// wait list it blocks on.
 func (p *Proc) blockUnscheduled() {
 	p.env.waiting++
 	p.park()
@@ -174,23 +392,85 @@ func (p *Proc) wake() {
 	p.env.schedule(p.env.now, p, nil)
 }
 
+// waitList is an intrusive FIFO of parked processes: links are
+// embedded in Proc, so push/pop/remove allocate nothing and removal
+// from the middle (timeouts, waiter cancellation) is O(1).
+type waitList struct {
+	head, tail *Proc
+	count      int
+}
+
+// empty reports whether no process is parked here.
+func (w *waitList) empty() bool { return w.head == nil }
+
+// len returns the number of parked processes.
+func (w *waitList) len() int { return w.count }
+
+// push appends p at the tail.
+func (w *waitList) push(p *Proc) {
+	p.waitq = w
+	p.prev = w.tail
+	p.next = nil
+	if w.tail != nil {
+		w.tail.next = p
+	} else {
+		w.head = p
+	}
+	w.tail = p
+	w.count++
+}
+
+// pop removes and returns the head process (nil when empty).
+func (w *waitList) pop() *Proc {
+	p := w.head
+	if p != nil {
+		w.unlink(p)
+	}
+	return p
+}
+
+// remove unlinks p if it is parked on this list, reporting success.
+func (w *waitList) remove(p *Proc) bool {
+	if p.waitq != w {
+		return false
+	}
+	w.unlink(p)
+	return true
+}
+
+func (w *waitList) unlink(p *Proc) {
+	if p.prev != nil {
+		p.prev.next = p.next
+	} else {
+		w.head = p.next
+	}
+	if p.next != nil {
+		p.next.prev = p.prev
+	} else {
+		w.tail = p.prev
+	}
+	p.next, p.prev, p.waitq = nil, nil, nil
+	w.count--
+}
+
 // Run dispatches events until none remain. It panics if live
 // processes are still blocked when the queue drains — that is a
 // deadlock in the model, which must fail loudly rather than silently
 // truncate an experiment.
 func (e *Env) Run() {
-	for len(e.events) > 0 {
+	for len(e.keys) > 0 {
 		e.step()
 	}
 	if e.active > 0 {
-		panic(fmt.Sprintf("sim: deadlock — %d process(es) still blocked at t=%v", e.active, e.now))
+		panic(fmt.Sprintf("sim: deadlock — %d process(es) still blocked at t=%v (%d waiting on resources/queues)",
+			e.active, e.now, e.waiting))
 	}
 }
 
 // RunUntil dispatches events with timestamp <= t, then sets the clock
 // to t. Processes may still be live afterwards.
 func (e *Env) RunUntil(t time.Duration) {
-	for len(e.events) > 0 && e.events[0].t <= t {
+	for len(e.keys) > 0 && e.keys[0].t <= t {
 		e.step()
 	}
 	if t > e.now {
@@ -198,17 +478,48 @@ func (e *Env) RunUntil(t time.Duration) {
 	}
 }
 
+// step dispatches one event. Callback-only events (the common case:
+// timers, ticks, At callbacks) run inline without touching the process
+// machinery; a process resume is one rendezvous send plus one receive
+// on the process's own channel.
 func (e *Env) step() {
-	ev := heap.Pop(&e.events).(event)
-	if ev.cancelled != nil && *ev.cancelled {
+	key, val := e.pop()
+	if val.timer != 0 {
+		slot := val.timer - 1
+		cancelled := e.timers[slot].cancelled
+		e.freeTimer(slot)
+		if cancelled {
+			// Skipped entirely: no callback, and crucially no clock
+			// advance, so a cancelled timer left at the end of a run
+			// cannot inflate the simulation horizon.
+			return
+		}
+		e.now = key.t
+		if val.p != nil {
+			// Queue-timeout wakeup: fires only if p is still parked on
+			// a wait list (a putter may have woken it first at this
+			// same instant; then there is nothing to do).
+			if val.p.waitq != nil {
+				val.p.waitq.remove(val.p)
+				val.p.timedOut = true
+				val.p.wake()
+			}
+			return
+		}
+		if val.fn != nil {
+			val.fn()
+		}
 		return
 	}
-	e.now = ev.t
-	if ev.fn != nil {
-		ev.fn()
+	e.now = key.t
+	if val.fn != nil {
+		// Fast path: a pure callback never touches the rendezvous
+		// machinery.
+		val.fn()
+		return
 	}
-	if ev.p != nil {
-		ev.p.resume <- struct{}{}
-		<-e.parked
+	if val.p != nil {
+		val.p.ch <- struct{}{}
+		<-val.p.ch
 	}
 }

@@ -697,6 +697,11 @@ type (
 	// p99 and goodput vs hedge trigger, with the hedge volume and
 	// waste that bought them.
 	HedgePoint = bench.HedgePoint
+	// KernelPoint is one simulation-kernel microbench measurement
+	// (Benchmarks.KernelPoints): wall-clock ops/sec and exact allocs/op
+	// for a kernel hot path, paired with the committed pre-rewrite
+	// baseline.
+	KernelPoint = bench.KernelPoint
 )
 
 // DefaultBenchConfig returns the paper-scale experiment configuration.

@@ -1,15 +1,17 @@
 #!/usr/bin/env sh
 # Regenerate the paper's evaluation benchmarks at CI scale into
-# .bench/ (one benchmark per figure; see bench_test.go), then emit the
-# machine-readable perf snapshot BENCH_PR<n>.json from the hedge
-# serving experiment. <n> is the newest PR recorded in CHANGES.md, so
+# .bench/ (one benchmark per figure; see bench_test.go), run the
+# simulation-kernel microbenchmarks into .bench/kernel.txt, then emit
+# the machine-readable perf snapshot BENCH_PR<n>.json from the kernel
+# experiment. <n> is the newest PR recorded in CHANGES.md, so
 # each PR's run lands in its own snapshot without editing this script;
 # a CHANGES.md with no PR entry is an error (the alternative is a
 # malformed snapshot name like BENCH_PR.json silently shadowing the
 # real history).
 #
 # Overrides: NCSW_BENCH_TIME (benchmark measuring window),
-# NCSW_BENCH_OUT (text output), NCSW_BENCH_JSON (snapshot path),
+# NCSW_BENCH_OUT (text output), NCSW_BENCH_KERNEL_OUT (kernel
+# microbench text output), NCSW_BENCH_JSON (snapshot path),
 # NCSW_BENCH_JSON_FLAGS (ncsw-bench flags producing the snapshot).
 set -eu
 
@@ -25,16 +27,25 @@ if [ -z "${NCSW_BENCH_JSON:-}" ]; then
 	NCSW_BENCH_JSON="BENCH_PR${pr}.json"
 fi
 OUT_FILE=${NCSW_BENCH_OUT:-.bench/figures.txt}
+KERNEL_OUT=${NCSW_BENCH_KERNEL_OUT:-.bench/kernel.txt}
 BENCH_TIME=${NCSW_BENCH_TIME:-200ms}
-JSON_FLAGS=${NCSW_BENCH_JSON_FLAGS:--hedge -json}
+JSON_FLAGS=${NCSW_BENCH_JSON_FLAGS:--kernel -json}
 
 mkdir -p "$(dirname "$OUT_FILE")"
+mkdir -p "$(dirname "$KERNEL_OUT")"
 
 go test . \
 	-run '^$' \
 	-bench . \
 	-benchtime "$BENCH_TIME" | tee "$OUT_FILE"
 
-echo "== resilience serving points -> $NCSW_BENCH_JSON =="
+echo "== kernel microbenchmarks -> $KERNEL_OUT =="
+go test ./internal/sim \
+	-run '^$' \
+	-bench BenchmarkKernel \
+	-benchmem \
+	-benchtime "$BENCH_TIME" | tee "$KERNEL_OUT"
+
+echo "== kernel perf points -> $NCSW_BENCH_JSON =="
 # shellcheck disable=SC2086 # JSON_FLAGS is a flag list by contract
 go run ./cmd/ncsw-bench $JSON_FLAGS > "$NCSW_BENCH_JSON"

@@ -27,3 +27,9 @@ go build ./...
 
 echo "== go test =="
 go test ./...
+
+echo "== bench-kernel smoke (-benchtime=1x: compile+run sanity, not timing) =="
+# The kernel microbenchmarks (DESIGN.md §9) are the repo's only
+# wall-clock numbers, so CI never gates on their timings — it only
+# proves every workload still compiles and completes one iteration.
+go test -run '^$' -bench BenchmarkKernel -benchtime=1x ./internal/sim
