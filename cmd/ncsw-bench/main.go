@@ -20,6 +20,8 @@
 //	ncsw-bench -hedge -json            # machine-readable hedge points (BENCH_PR5.json)
 //	ncsw-bench -kernel                 # simulation-kernel microbenchmarks vs pre-rewrite baseline
 //	ncsw-bench -kernel -json           # machine-readable kernel points (BENCH_PR7.json)
+//	ncsw-bench -split                  # split inference: throughput vs partition point
+//	ncsw-bench -split -json            # machine-readable split points (BENCH_PR8.json)
 //	ncsw-bench -cpuprofile cpu.pprof   # write a CPU profile of the run (any mode)
 //	ncsw-bench -memprofile mem.pprof   # write an allocation profile at exit (any mode)
 package main
@@ -61,8 +63,10 @@ func main() {
 		"run the hedge experiment (p99/goodput vs hedge trigger, with and without faults)")
 	kernel := flag.Bool("kernel", false,
 		"run the simulation-kernel microbenchmarks (ops/sec and allocs/op per hot path vs the committed pre-rewrite baseline)")
+	split := flag.Bool("split", false,
+		"run the split-inference experiment (pipeline throughput vs partition point and boundary window, against whole-inference baselines)")
 	jsonOut := flag.Bool("json", false,
-		"with -serve, -slo, -faults, -hedge or -kernel: emit the experiment's points as JSON (the BENCH_PR*.json format)")
+		"with -serve, -slo, -faults, -hedge, -kernel or -split: emit the experiment's points as JSON (the BENCH_PR*.json format)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -122,22 +126,22 @@ func main() {
 
 	ids := repro.ExperimentIDs()
 	if *experiment != "all" {
-		if *serve || *slo || *faults || *hedge || *kernel {
-			log.Fatal("-serve/-slo/-faults/-hedge/-kernel and -experiment are mutually exclusive (use -experiment serving,slo,resilience,hedge,kernel to mix)")
+		if *serve || *slo || *faults || *hedge || *kernel || *split {
+			log.Fatal("-serve/-slo/-faults/-hedge/-kernel/-split and -experiment are mutually exclusive (use -experiment serving,slo,resilience,hedge,kernel,split to mix)")
 		}
 		ids = strings.Split(*experiment, ",")
 	}
 	modes := 0
-	for _, on := range []bool{*serve, *slo, *faults, *hedge, *kernel} {
+	for _, on := range []bool{*serve, *slo, *faults, *hedge, *kernel, *split} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		log.Fatal("-serve, -slo, -faults, -hedge and -kernel are mutually exclusive")
+		log.Fatal("-serve, -slo, -faults, -hedge, -kernel and -split are mutually exclusive")
 	}
 	if *jsonOut && modes == 0 {
-		log.Fatal("-json requires -serve, -slo, -faults, -hedge or -kernel (only their points have a JSON form)")
+		log.Fatal("-json requires -serve, -slo, -faults, -hedge, -kernel or -split (only their points have a JSON form)")
 	}
 	if *serve {
 		if *jsonOut {
@@ -173,6 +177,13 @@ func main() {
 			return
 		}
 		ids = []string{"kernel"}
+	}
+	if *split {
+		if *jsonOut {
+			emitSplitJSON(h)
+			return
+		}
+		ids = []string{"split"}
 	}
 	for _, id := range ids {
 		start := time.Now()
@@ -287,6 +298,27 @@ func emitKernelJSON(h *repro.Benchmarks) {
 		Experiment string              `json:"experiment"`
 		Points     []repro.KernelPoint `json:"points"`
 	}{Experiment: "kernel", Points: points}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// emitSplitJSON runs the split-inference experiment and emits the
+// machine-readable points (per partition point and boundary window:
+// pipeline throughput and tail latency against the whole-inference
+// baselines at equal fleet) that scripts/bench.sh stores as the
+// current PR's BENCH_PR*.json snapshot. Fully simulated: two
+// emissions at the same seed are byte-identical.
+func emitSplitJSON(h *repro.Benchmarks) {
+	points, err := h.SplitPoints()
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Experiment string             `json:"experiment"`
+		Points     []repro.SplitPoint `json:"points"`
+	}{Experiment: "split", Points: points}); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -15,7 +15,7 @@ func TestExamplesSmoke(t *testing.T) {
 		t.Skip("examples smoke test skipped in -short mode")
 	}
 	examples := []string{
-		"quickstart", "multivpu", "streaming", "precision", "powerstudy", "serving", "slo", "resilience", "hedging",
+		"quickstart", "multivpu", "streaming", "precision", "powerstudy", "serving", "slo", "resilience", "hedging", "split",
 	}
 	for _, name := range examples {
 		name := name

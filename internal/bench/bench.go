@@ -200,6 +200,7 @@ func (h *Harness) All() ([]*Table, error) {
 		{"resilience", h.Resilience},
 		{"hedge", h.Hedge},
 		{"kernel", h.Kernel},
+		{"split", h.Split},
 	}
 	var out []*Table
 	for _, g := range gens {
@@ -245,6 +246,8 @@ func (h *Harness) Experiment(id string) (*Table, error) {
 		return h.Hedge()
 	case "kernel":
 		return h.Kernel()
+	case "split":
+		return h.Split()
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", id, ExperimentIDs())
 	}
@@ -266,5 +269,5 @@ func precisionImages(cfg Config) int {
 // ExperimentIDs lists the available artefacts: the paper's figures in
 // order, the headline summary, and the beyond-the-paper studies.
 func ExperimentIDs() []string {
-	return []string{"fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "summary", "ablation", "precision", "gemm", "serving", "slo", "resilience", "hedge", "kernel"}
+	return []string{"fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "summary", "ablation", "precision", "gemm", "serving", "slo", "resilience", "hedge", "kernel", "split"}
 }

@@ -102,7 +102,7 @@ func TestExperimentDispatch(t *testing.T) {
 		t.Error("unknown experiment accepted")
 	}
 	ids := ExperimentIDs()
-	if len(ids) != 15 {
+	if len(ids) != 16 {
 		t.Errorf("ExperimentIDs = %v", ids)
 	}
 }

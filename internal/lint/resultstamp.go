@@ -36,7 +36,12 @@ var (
 // lifecycle timestamps. Zero literals and sentinel literals (Index
 // only) pass; so does any code that builds a bare literal and routes
 // it through a stamping helper such as StreamSource.Push, which sets
-// ArrivedAt at the push instant. Test files are exempt: tests build
+// ArrivedAt at the push instant. Stage-boundary hops (PR 8) get one
+// extra rule: an Item literal that forwards a Result's output tensor
+// downstream (Image from a .Output selector) must *carry* the
+// upstream arrival stamp (ArrivedAt from a .ArrivedAt selector) — a
+// freshly invented stamp at a stage boundary silently resets the
+// item's end-to-end latency. Test files are exempt: tests build
 // half-stamped literals to probe exactly these edge cases.
 var Resultstamp = &Analyzer{
 	Name: "resultstamp",
@@ -58,6 +63,7 @@ var Resultstamp = &Analyzer{
 				switch name {
 				case "Item":
 					checkStamps(pass, lit, "core.Item", itemPayload, itemStamps)
+					checkStageHop(pass, lit)
 				case "Result":
 					checkStamps(pass, lit, "core.Result", resultPayload, resultStamps)
 				}
@@ -65,6 +71,48 @@ var Resultstamp = &Analyzer{
 			})
 		}
 	},
+}
+
+// checkStageHop applies the stage-boundary rule to a keyed core.Item
+// literal: Image taken from a Result's .Output field marks the
+// literal as an inter-stage hop, and its ArrivedAt must then be
+// carried from an upstream .ArrivedAt field rather than re-stamped.
+// A hop that omits ArrivedAt entirely is already reported by the
+// payload rule, so this check only fires on a present-but-fresh
+// stamp.
+func checkStageHop(pass *Pass, lit *ast.CompositeLit) {
+	var arrived ast.Expr
+	hop := false
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			return // unkeyed literal: the payload rule's exemption applies
+		}
+		id, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch id.Name {
+		case "Image":
+			hop = isFieldSelector(kv.Value, "Output")
+		case "ArrivedAt":
+			arrived = kv.Value
+		}
+	}
+	if !hop || arrived == nil {
+		return
+	}
+	if isFieldSelector(arrived, "ArrivedAt") {
+		return
+	}
+	pass.Reportf(lit.Pos(), "core.Item literal forwards a Result's Output across a stage boundary but re-stamps ArrivedAt — carry the upstream result's ArrivedAt (PR 8) or end-to-end latency resets at the hop")
+}
+
+// isFieldSelector reports whether e is a selector expression ending
+// in the given field name (e.g. r.Output, res.Inner.ArrivedAt).
+func isFieldSelector(e ast.Expr, field string) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == field
 }
 
 // coreTypeName returns the named-type name of a composite literal

@@ -49,3 +49,23 @@ func allowed() core.Item {
 	//ncsw:allow resultstamp fixture: the caller's helper stamps arrival
 	return core.Item{Index: 7, Label: 1}
 }
+
+func stageHopOK(r core.Result) core.Item {
+	return core.Item{Index: r.Index, Image: r.Output, Label: r.Label, ArrivedAt: r.ArrivedAt}
+}
+
+func stageHopRestampBad(r core.Result, now time.Duration) core.Item {
+	return core.Item{Index: r.Index, Image: r.Output, ArrivedAt: now} // want `re-stamps ArrivedAt`
+}
+
+func stageHopMissingBad(r core.Result) core.Item {
+	return core.Item{Index: r.Index, Image: r.Output} // want `does not set ArrivedAt`
+}
+
+func nonHopFreshStampOK(img *struct{ Output int }, now time.Duration) core.Item {
+	// Image not taken from a Result's Output selector chain is not a
+	// hop... but a bare .Output selector is treated as one regardless
+	// of the receiver type (the analyzer is syntactic by design), so
+	// use a non-Output source here.
+	return core.Item{Index: 1, Label: img.Output, ArrivedAt: now}
+}

@@ -1,0 +1,130 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Split cuts the graph at a layer boundary into a head and a tail
+// segment for pipeline-parallel inference: the head runs layers
+// [0, cut) and outputs the cut activation, the tail runs layers
+// [cut, Len) consuming that activation as its input tensor. Both
+// segments share the original Layer values (weight-preserving: a
+// calibrated or quantized layer stays calibrated in its segment), and
+// both are re-validated so a shape-breaking cut fails here, not at
+// execution.
+//
+// A cut is valid when every tail layer consumes only the cut node or
+// other tail layers — i.e. exactly one tensor crosses the boundary.
+// ValidCuts enumerates the interior cuts satisfying this.
+//
+// The degenerate cuts return the receiver itself for the non-empty
+// side: Split(0) = (nil, g), Split(Len) = (g, nil). Callers composing
+// pipelines use that to collapse an empty stage rather than run a
+// zero-layer segment.
+func (g *Graph) Split(cut int) (head, tail *Graph, err error) {
+	n := len(g.order)
+	switch {
+	case cut < 0 || cut > n:
+		return nil, nil, fmt.Errorf("nn: cut %d out of range [0,%d]", cut, n)
+	case cut == 0:
+		return nil, g, nil
+	case cut == n:
+		return g, nil, nil
+	}
+	if err := g.checkCut(cut); err != nil {
+		return nil, nil, err
+	}
+	cutNode := g.order[cut-1]
+
+	head = &Graph{
+		name:       g.name + "/head",
+		inputShape: g.inputShape.Clone(),
+		nodes:      map[string]*node{},
+		output:     cutNode,
+	}
+	for _, name := range g.order[:cut] {
+		nd := g.nodes[name]
+		head.nodes[name] = &node{
+			layer:    nd.layer,
+			inputs:   append([]string(nil), nd.inputs...),
+			outShape: nd.outShape.Clone(),
+		}
+		head.order = append(head.order, name)
+	}
+
+	var cutShape tensor.Shape = g.nodes[cutNode].outShape.Clone()
+	tail = &Graph{
+		name:       g.name + "/tail",
+		inputShape: cutShape,
+		nodes:      map[string]*node{},
+		output:     g.output,
+	}
+	for _, name := range g.order[cut:] {
+		nd := g.nodes[name]
+		inputs := make([]string, len(nd.inputs))
+		for i, in := range nd.inputs {
+			if in == cutNode {
+				// The cut activation is the tail's input tensor.
+				inputs[i] = InputName
+			} else {
+				inputs[i] = in
+			}
+		}
+		tail.nodes[name] = &node{
+			layer:    nd.layer,
+			inputs:   inputs,
+			outShape: nd.outShape.Clone(),
+		}
+		tail.order = append(tail.order, name)
+	}
+
+	if err := head.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("nn: split head at %d: %w", cut, err)
+	}
+	if err := tail.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("nn: split tail at %d: %w", cut, err)
+	}
+	return head, tail, nil
+}
+
+// checkCut verifies the single-tensor-boundary property of an
+// interior cut: every tail layer's inputs resolve to the cut node or
+// to earlier tail layers, and the graph's output lies in the tail.
+func (g *Graph) checkCut(cut int) error {
+	cutNode := g.order[cut-1]
+	inTail := make(map[string]bool, len(g.order)-cut)
+	outputSeen := false
+	for _, name := range g.order[cut:] {
+		for _, in := range g.nodes[name].inputs {
+			if in != cutNode && !inTail[in] {
+				return fmt.Errorf("nn: cut %d after %q invalid: tail layer %q consumes %q across the boundary",
+					cut, cutNode, name, in)
+			}
+		}
+		inTail[name] = true
+		if name == g.output {
+			outputSeen = true
+		}
+	}
+	if !outputSeen {
+		return fmt.Errorf("nn: cut %d after %q invalid: graph output %q is not in the tail",
+			cut, cutNode, g.output)
+	}
+	return nil
+}
+
+// ValidCuts returns every interior cut index where Split succeeds, in
+// ascending order. For sequential networks that is every boundary;
+// for branching networks (inception modules) only the junctions where
+// a single tensor crosses — branch interiors are excluded.
+func (g *Graph) ValidCuts() []int {
+	var cuts []int
+	for cut := 1; cut < len(g.order); cut++ {
+		if g.checkCut(cut) == nil {
+			cuts = append(cuts, cut)
+		}
+	}
+	return cuts
+}

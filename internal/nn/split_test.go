@@ -1,0 +1,168 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// TestSplitDegenerate locks the degenerate contract: cut 0 and cut
+// Len return the receiver itself on the non-empty side, so pipeline
+// builders can collapse empty stages without copying.
+func TestSplitDegenerate(t *testing.T) {
+	g := NewMicroGoogLeNet(DefaultMicroConfig(), rng.New(1))
+	head, tail, err := g.Split(0)
+	if err != nil || head != nil || tail != g {
+		t.Fatalf("Split(0) = %v, %v, %v; want nil, g, nil", head, tail, err)
+	}
+	head, tail, err = g.Split(g.Len())
+	if err != nil || head != g || tail != nil {
+		t.Fatalf("Split(Len) = %v, %v, %v; want g, nil, nil", head, tail, err)
+	}
+	if _, _, err := g.Split(-1); err == nil {
+		t.Error("Split(-1) accepted")
+	}
+	if _, _, err := g.Split(g.Len() + 1); err == nil {
+		t.Error("Split(Len+1) accepted")
+	}
+}
+
+// TestSplitInvalidCut asserts branch interiors are rejected: a cut
+// inside an inception module leaves concat inputs across the
+// boundary.
+func TestSplitInvalidCut(t *testing.T) {
+	g := NewGoogLeNet(rng.New(1))
+	valid := map[int]bool{}
+	for _, c := range g.ValidCuts() {
+		valid[c] = true
+	}
+	if len(valid) == 0 {
+		t.Fatal("GoogLeNet has no valid cuts")
+	}
+	tested := false
+	for cut := 1; cut < g.Len(); cut++ {
+		if valid[cut] {
+			continue
+		}
+		if _, _, err := g.Split(cut); err == nil {
+			t.Fatalf("invalid cut %d (after %q) accepted", cut, g.LayerNames()[cut-1])
+		}
+		tested = true
+	}
+	if !tested {
+		t.Skip("every cut valid; nothing to reject")
+	}
+}
+
+// TestSplitGoogLeNetShapes walks every valid GoogLeNet cut and checks
+// the segment geometry: head output shape = tail input shape, layer
+// counts sum to the whole, MACs are preserved across the boundary,
+// and the segments share Layer values with the original (weights are
+// not copied).
+func TestSplitGoogLeNetShapes(t *testing.T) {
+	g := NewGoogLeNet(rng.New(1))
+	whole := g.TotalStats()
+	cuts := g.ValidCuts()
+	if len(cuts) < 10 {
+		t.Fatalf("GoogLeNet: only %d valid cuts, want a rich boundary set", len(cuts))
+	}
+	for _, cut := range cuts {
+		head, tail, err := g.Split(cut)
+		if err != nil {
+			t.Fatalf("Split(%d): %v", cut, err)
+		}
+		if head.Len()+tail.Len() != g.Len() {
+			t.Errorf("cut %d: %d+%d layers, want %d", cut, head.Len(), tail.Len(), g.Len())
+		}
+		if !head.OutputShape().Equal(tail.InputShape()) {
+			t.Errorf("cut %d: head out %v != tail in %v", cut, head.OutputShape(), tail.InputShape())
+		}
+		if !tail.OutputShape().Equal(g.OutputShape()) {
+			t.Errorf("cut %d: tail out %v != whole out %v", cut, tail.OutputShape(), g.OutputShape())
+		}
+		if got := head.TotalStats().MACs + tail.TotalStats().MACs; got != whole.MACs {
+			t.Errorf("cut %d: MACs %d, want %d", cut, got, whole.MACs)
+		}
+		cutNode := g.LayerNames()[cut-1]
+		if head.Output() != cutNode {
+			t.Errorf("cut %d: head output %q, want %q", cut, head.Output(), cutNode)
+		}
+		for _, name := range head.LayerNames() {
+			if head.Layer(name) != g.Layer(name) {
+				t.Errorf("cut %d: head layer %q copied, want shared", cut, name)
+			}
+		}
+		for _, name := range tail.LayerNames() {
+			if tail.Layer(name) != g.Layer(name) {
+				t.Errorf("cut %d: tail layer %q copied, want shared", cut, name)
+			}
+		}
+	}
+}
+
+// TestSplitForwardEquivalence runs the micro network whole and split
+// at every valid cut: Forward(head)→Forward(tail) must reproduce the
+// whole graph's output bit for bit (same layers, same weights, same
+// float order — the split changes routing, not arithmetic).
+func TestSplitForwardEquivalence(t *testing.T) {
+	g := NewMicroGoogLeNet(DefaultMicroConfig(), rng.New(7))
+	in := tensor.New(append(tensor.Shape{2}, g.InputShape()...)...)
+	src := rng.New(99)
+	for i := range in.Data {
+		in.Data[i] = float32(src.Float64()*2 - 1)
+	}
+	want, err := g.Forward(in, FP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := g.ValidCuts()
+	if len(cuts) == 0 {
+		t.Fatal("micro network has no valid cuts")
+	}
+	for _, cut := range cuts {
+		head, tail, err := g.Split(cut)
+		if err != nil {
+			t.Fatalf("Split(%d): %v", cut, err)
+		}
+		mid, err := head.Forward(in, FP32)
+		if err != nil {
+			t.Fatalf("cut %d head forward: %v", cut, err)
+		}
+		got, err := tail.Forward(mid, FP32)
+		if err != nil {
+			t.Fatalf("cut %d tail forward: %v", cut, err)
+		}
+		if len(got.Data) != len(want.Data) {
+			t.Fatalf("cut %d: output size %d, want %d", cut, len(got.Data), len(want.Data))
+		}
+		for i := range got.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("cut %d: output[%d] = %v, want %v (split must be bit-exact)",
+					cut, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestSplitDoesNotMutateOriginal checks Split leaves the receiver
+// usable: order, output and shapes unchanged, and a second Split at
+// another cut still works.
+func TestSplitDoesNotMutateOriginal(t *testing.T) {
+	g := NewGoogLeNet(rng.New(1))
+	outBefore := g.Output()
+	lenBefore := g.Len()
+	cuts := g.ValidCuts()
+	if _, _, err := g.Split(cuts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if g.Output() != outBefore || g.Len() != lenBefore {
+		t.Fatalf("Split mutated the graph: output %q len %d", g.Output(), g.Len())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("graph invalid after Split: %v", err)
+	}
+	if _, _, err := g.Split(cuts[len(cuts)-1]); err != nil {
+		t.Fatalf("second Split failed: %v", err)
+	}
+}

@@ -93,6 +93,27 @@ func WithGroup(g Group) Option {
 	return func(c *Config) { c.Groups = append(c.Groups, g) }
 }
 
+// WithStages runs the session as a model-parallel pipeline: the
+// workload network is split at the WithCut boundaries into one
+// segment per stage, each stage runs its segment on its own device
+// group (CPUStage/GPUStage/VPUStage/CustomStage), and activations
+// stream between stages under bounded in-flight windows with
+// backpressure end to end. Mutually exclusive with the device-group
+// options; per-stage queue windows come from Stage.Queue.
+func WithStages(stages ...Stage) Option {
+	return func(c *Config) { c.Stages = append(c.Stages, stages...) }
+}
+
+// WithCut sets the whole-network layer boundaries partitioning the
+// workload across the WithStages chain (one fewer cut than stages,
+// ascending; nn.Graph.ValidCuts enumerates the legal interior
+// boundaries). A degenerate cut (0 or the layer count) collapses its
+// empty stage, and a single surviving stage runs bit-identical to the
+// classic single-group session.
+func WithCut(cuts ...int) Option {
+	return func(c *Config) { c.Cuts = append(c.Cuts, cuts...) }
+}
+
 // WithArrivals wraps the session source in an open-loop arrival
 // process (deterministic, Poisson, bursty or trace replay — see the
 // core constructors): items become visible at their arrival instants

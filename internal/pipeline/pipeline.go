@@ -207,8 +207,22 @@ type Config struct {
 	// to core.DefaultRecoveryConfig() so an injected hang cannot
 	// deadlock the simulation.
 	Recovery core.RecoveryConfig
-	// Groups are the device groups (at least one).
+	// Groups are the device groups (at least one, unless Stages is
+	// set).
 	Groups []Group
+	// Stages, when set, runs the session as a model-parallel pipeline
+	// (core.Pipeline): the network is split at Cuts into one segment
+	// per stage, each stage runs its segment on its own device group,
+	// and activations stream between stages under bounded in-flight
+	// windows. Mutually exclusive with Groups; see WithStages.
+	Stages []Stage
+	// Cuts are the whole-network layer boundaries partitioning the
+	// workload across Stages (len(Stages)-1 ascending indices into
+	// [0, Len]; nn.Graph.ValidCuts enumerates the legal interior
+	// ones). Degenerate cuts (0 or Len) collapse their empty stage —
+	// a single surviving stage runs as the classic single-group
+	// session, bit-identical to never having split.
+	Cuts []int
 }
 
 // DefaultTemperature is the calibrated prototype-classifier softmax
@@ -239,6 +253,12 @@ type Session struct {
 	// single-group sessions); the recovery drop hooks consult its
 	// hedge state so a lost duplicate is not miscounted as a loss.
 	pool *core.Pool
+	// stages are the effective pipeline stages after segment
+	// resolution (nil for classic group sessions); pipe is their
+	// composite, set by Run. The recovery drop hooks release a dropped
+	// item's boundary credit through it.
+	stages []resolvedStage
+	pipe   *core.Pipeline
 	// merged/perGroup are set by Run before the simulation starts, so
 	// the recovery hooks installed at build time can reach them.
 	merged   *core.Collector
@@ -338,11 +358,28 @@ func applyDefaults(cfg *Config) {
 			}
 		}
 	}
+	for i := range cfg.Stages {
+		g := &cfg.Stages[i].Group
+		switch g.Kind {
+		case GroupCPU, GroupGPU:
+			if g.Batch == 0 {
+				g.Batch = 8
+			}
+		case GroupVPU:
+			if g.Devices == 0 {
+				g.Devices = 1
+			}
+		}
+	}
 }
 
 func validate(cfg *Config) error {
-	if len(cfg.Groups) == 0 {
-		return fmt.Errorf("pipeline: session needs at least one device group (WithCPU/WithGPU/WithVPUs/WithTarget)")
+	if len(cfg.Stages) > 0 {
+		if err := validateStages(cfg); err != nil {
+			return err
+		}
+	} else if len(cfg.Groups) == 0 {
+		return fmt.Errorf("pipeline: session needs at least one device group (WithCPU/WithGPU/WithVPUs/WithTarget) or stage chain (WithStages)")
 	}
 	if cfg.Images < 0 {
 		return fmt.Errorf("pipeline: negative image count %d", cfg.Images)
@@ -440,6 +477,14 @@ func (s *Session) buildNetwork() error {
 			return fmt.Errorf("pipeline: unknown network kind %v", s.cfg.Network)
 		}
 	}
+	if len(s.cfg.Stages) > 0 {
+		// Segment resolution happens before any blob or device exists:
+		// degenerate cuts collapse here, so a single surviving stage
+		// takes the classic path below with nothing extra built.
+		if err := s.resolveStages(); err != nil {
+			return err
+		}
+	}
 	for _, g := range s.cfg.Groups {
 		if g.Kind == GroupVPU {
 			if s.cfg.Blob != nil {
@@ -464,8 +509,16 @@ func (s *Session) buildNetwork() error {
 // equivalent manual setup.
 func (s *Session) buildTargets() error {
 	s.registry = fault.Registry{}
+	groups := make([]Group, 0, len(s.cfg.Groups)+len(s.stages))
+	if s.stageMode() {
+		for _, st := range s.stages {
+			groups = append(groups, st.spec.Group)
+		}
+	} else {
+		groups = append(groups, s.cfg.Groups...)
+	}
 	totalSticks := 0
-	for _, g := range s.cfg.Groups {
+	for _, g := range groups {
 		if g.Kind == GroupVPU {
 			totalSticks += g.Devices
 		}
@@ -491,8 +544,8 @@ func (s *Session) buildTargets() error {
 		}
 	}
 
-	s.targets = make([]core.Target, len(s.cfg.Groups))
-	s.perVPU = make([][]*ncs.Device, len(s.cfg.Groups))
+	s.targets = make([]core.Target, len(groups))
+	s.perVPU = make([][]*ncs.Device, len(groups))
 	nextStick := 0
 	kindCount := map[GroupKind]int{}
 	batchName := func(k GroupKind) string {
@@ -502,66 +555,82 @@ func (s *Session) buildTargets() error {
 		}
 		return k.String()
 	}
-	for i, g := range s.cfg.Groups {
-		switch g.Kind {
-		case GroupCPU:
-			eng, err := devsim.NewCPU(devsim.DefaultCPUConfig(), devsim.WorkloadOf(s.net), rng.New(s.cfg.Seed))
-			if err != nil {
-				return fmt.Errorf("pipeline: cpu engine: %w", err)
-			}
-			t, err := core.NewCPUTarget(eng, s.net, g.Batch, s.cfg.Functional)
-			if err != nil {
-				return fmt.Errorf("pipeline: cpu target: %w", err)
-			}
-			if s.cfg.Timeline != nil {
-				t.SetTimeline(s.cfg.Timeline)
-			}
-			s.applyAssembly(t)
-			s.wireBatchRetry(t, i)
-			s.registry.Add(batchName(GroupCPU), eng)
-			s.targets[i] = t
-		case GroupGPU:
-			eng, err := devsim.NewGPU(devsim.DefaultGPUConfig(), devsim.WorkloadOf(s.net), rng.New(s.cfg.Seed))
-			if err != nil {
-				return fmt.Errorf("pipeline: gpu engine: %w", err)
-			}
-			t, err := core.NewGPUTarget(eng, s.net, g.Batch, s.cfg.Functional)
-			if err != nil {
-				return fmt.Errorf("pipeline: gpu target: %w", err)
-			}
-			if s.cfg.Timeline != nil {
-				t.SetTimeline(s.cfg.Timeline)
-			}
-			s.applyAssembly(t)
-			s.wireBatchRetry(t, i)
-			s.registry.Add(batchName(GroupGPU), eng)
-			s.targets[i] = t
-		case GroupVPU:
-			sticks := s.devices[nextStick : nextStick+g.Devices]
-			nextStick += g.Devices
-			opts := core.DefaultVPUOptions()
-			if g.VPUOptions != nil {
-				opts = *g.VPUOptions
-			}
-			opts.Functional = s.cfg.Functional
-			if s.cfg.Timeline != nil {
-				opts.Timeline = s.cfg.Timeline
-			}
-			opts.Recovery = s.groupRecovery(i)
-			if len(s.cfg.Groups) == 1 && s.cfg.Hedge.Enabled() {
-				// A lone multi-stick VPU group hedges across its own
-				// sticks; hedge events all belong to group 0.
-				opts.Hedge = s.sessionHedge(func(int) int { return 0 })
-			}
-			t, err := core.NewVPUTarget(sticks, s.blob, opts)
-			if err != nil {
-				return fmt.Errorf("pipeline: vpu target: %w", err)
-			}
-			s.targets[i] = t
-			s.perVPU[i] = sticks
-		case GroupCustom:
-			s.targets[i] = g.Target
+	for i, g := range groups {
+		// Classic sessions run every group over the whole network and
+		// the session blob; pipeline stages run their own segment.
+		net, blob := s.net, s.blob
+		if s.stageMode() {
+			net, blob = s.stages[i].seg, s.stages[i].blob
 		}
+		if err := s.buildGroupTarget(i, g, net, blob, &nextStick, batchName); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildGroupTarget constructs group i's target over the given network
+// (and, for VPU groups, compiled blob), preserving the exact
+// construction and seeding order of the hand-wired constructors.
+func (s *Session) buildGroupTarget(i int, g Group, net *nn.Graph, blob []byte, nextStick *int, batchName func(GroupKind) string) error {
+	switch g.Kind {
+	case GroupCPU:
+		eng, err := devsim.NewCPU(devsim.DefaultCPUConfig(), devsim.WorkloadOf(net), rng.New(s.cfg.Seed))
+		if err != nil {
+			return fmt.Errorf("pipeline: cpu engine: %w", err)
+		}
+		t, err := core.NewCPUTarget(eng, net, g.Batch, s.cfg.Functional)
+		if err != nil {
+			return fmt.Errorf("pipeline: cpu target: %w", err)
+		}
+		if s.cfg.Timeline != nil {
+			t.SetTimeline(s.cfg.Timeline)
+		}
+		s.applyAssembly(t)
+		s.wireBatchRetry(t, i)
+		s.registry.Add(batchName(GroupCPU), eng)
+		s.targets[i] = t
+	case GroupGPU:
+		eng, err := devsim.NewGPU(devsim.DefaultGPUConfig(), devsim.WorkloadOf(net), rng.New(s.cfg.Seed))
+		if err != nil {
+			return fmt.Errorf("pipeline: gpu engine: %w", err)
+		}
+		t, err := core.NewGPUTarget(eng, net, g.Batch, s.cfg.Functional)
+		if err != nil {
+			return fmt.Errorf("pipeline: gpu target: %w", err)
+		}
+		if s.cfg.Timeline != nil {
+			t.SetTimeline(s.cfg.Timeline)
+		}
+		s.applyAssembly(t)
+		s.wireBatchRetry(t, i)
+		s.registry.Add(batchName(GroupGPU), eng)
+		s.targets[i] = t
+	case GroupVPU:
+		sticks := s.devices[*nextStick : *nextStick+g.Devices]
+		*nextStick += g.Devices
+		opts := core.DefaultVPUOptions()
+		if g.VPUOptions != nil {
+			opts = *g.VPUOptions
+		}
+		opts.Functional = s.cfg.Functional
+		if s.cfg.Timeline != nil {
+			opts.Timeline = s.cfg.Timeline
+		}
+		opts.Recovery = s.groupRecovery(i)
+		if len(s.cfg.Groups) == 1 && s.cfg.Hedge.Enabled() {
+			// A lone multi-stick VPU group hedges across its own
+			// sticks; hedge events all belong to group 0.
+			opts.Hedge = s.sessionHedge(func(int) int { return 0 })
+		}
+		t, err := core.NewVPUTarget(sticks, blob, opts)
+		if err != nil {
+			return fmt.Errorf("pipeline: vpu target: %w", err)
+		}
+		s.targets[i] = t
+		s.perVPU[i] = sticks
+	case GroupCustom:
+		s.targets[i] = g.Target
 	}
 	return nil
 }
@@ -586,6 +655,12 @@ func (s *Session) groupRecovery(group int) core.RecoveryConfig {
 		}
 	}
 	rc.OnDrop = func(item core.Item, at time.Duration) {
+		// A drop at an interior pipeline stage holds a boundary
+		// in-flight credit; release it or the window stays narrowed by
+		// every loss (core.Pipeline.StageDropped).
+		if s.pipe != nil {
+			s.pipe.StageDropped(group)
+		}
 		// Under pool-level hedging a lost copy is only a loss when no
 		// other copy of the item is in flight or delivered.
 		if s.pool != nil && !s.pool.HedgeItemLost(item.Index) {
@@ -795,7 +870,42 @@ func (s *Session) Run() (*Report, error) {
 
 	var job *core.Job
 	var pool *core.Pool
-	if len(s.targets) == 1 {
+	if s.stageMode() {
+		// Model-parallel pipeline: serial stages, final-stage results
+		// to the merged collector, per-stage emissions to the group
+		// collectors through the hop observer.
+		sinks := make([]func(core.Result), len(s.targets))
+		for i := range sinks {
+			sinks[i] = perGroup[i].Sink()
+		}
+		depths := make([]int, len(s.targets)-1)
+		for b := range depths {
+			d := s.stages[b].spec.Queue
+			if d == 0 {
+				d = s.cfg.QueueDepth
+			}
+			if d == 0 {
+				d = 2
+			}
+			// An interior batch stage holds a full batch in flight while
+			// it assembles; its downstream window must cover it or the
+			// batch can never fill (classic gather would deadlock).
+			if g := s.stages[b].spec.Group; (g.Kind == GroupCPU || g.Kind == GroupGPU) && d < g.Batch {
+				d = g.Batch
+			}
+			depths[b] = d
+		}
+		pipe, err := core.NewPipeline(s.targets, core.PipelineOptions{
+			QueueDepths:   depths,
+			OnStageResult: func(stage int, r core.Result) { sinks[stage](r) },
+		})
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: stages: %w", err)
+		}
+		s.pipe = pipe
+		subscribeAdmission(pipe)
+		job = pipe.Start(s.env, src, merged.Sink())
+	} else if len(s.targets) == 1 {
 		// Single group: start directly, bit-identical to hand-wiring.
 		subscribeAdmission(s.targets[0])
 		sink := merged.Sink()

@@ -123,8 +123,15 @@ type Report struct {
 	// SimTime is the total virtual time of the run (including setup).
 	SimTime time.Duration
 	// Routing names the scheduling policy that distributed the work
-	// (meaningful when more than one group ran).
+	// (meaningful when more than one group ran; pipeline sessions are
+	// serial and report cuts instead).
 	Routing core.Routing
+	// Pipeline is true when the session ran as a model-parallel stage
+	// chain; Cuts are the effective whole-network layer boundaries
+	// between its stages (degenerate cuts collapse before the run, so
+	// a collapsed session reports Pipeline=false).
+	Pipeline bool
+	Cuts     []int
 	// Job is the aggregate job (the pool's, or the single target's).
 	Job *core.Job
 	// Collector is the merged collector; Results holds every result
@@ -166,16 +173,31 @@ func (s *Session) buildReport(job *core.Job, pool *core.Pool, merged *core.Colle
 	rep.HedgeWins = merged.HedgeWins
 	rep.HedgeWaste = merged.HedgeWaste
 	rep.HedgeWasteRate = merged.HedgeWasteRate()
+	if s.stageMode() {
+		rep.Pipeline = true
+		rep.Cuts = s.Cuts()
+	}
 	jobs := []*core.Job{job}
 	if pool != nil {
 		jobs = pool.ChildJobs()
+	}
+	if s.pipe != nil {
+		jobs = s.pipe.StageJobs()
+	}
+	kinds := make([]GroupKind, len(s.targets))
+	for i := range kinds {
+		if s.stageMode() {
+			kinds[i] = s.stages[i].spec.Group.Kind
+		} else {
+			kinds[i] = s.cfg.Groups[i].Kind
+		}
 	}
 	var deviceSpan, deviceDown time.Duration
 	for i, t := range s.targets {
 		tj := jobs[i]
 		tr := TargetReport{
 			Name:           t.Name(),
-			Kind:           s.cfg.Groups[i].Kind,
+			Kind:           kinds[i],
 			Images:         tj.Images,
 			Throughput:     tj.Throughput(),
 			TDPWatts:       t.TDPWatts(),
@@ -299,7 +321,9 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "admission: effective depth shrank %d time(s) with device health\n", r.Admission.Shrinks)
 	}
 	fmt.Fprintf(&b, "simulated time %v", r.SimTime)
-	if len(r.Targets) > 1 {
+	if r.Pipeline {
+		fmt.Fprintf(&b, ", pipeline cut@%v", r.Cuts)
+	} else if len(r.Targets) > 1 {
 		fmt.Fprintf(&b, ", routing %v", r.Routing)
 	}
 	if r.Arrivals != nil {

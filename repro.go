@@ -383,6 +383,37 @@ func NewPool(children []Target, opts PoolOptions) (*Pool, error) {
 	return core.NewPool(children, opts)
 }
 
+// Split inference (model parallelism): the Pipeline composite target.
+type (
+	// Pipeline is a Target over a serial chain of stages: each stage
+	// consumes the previous stage's output activations from a bounded
+	// in-flight window, with credit-based backpressure end to end.
+	// Pipelines nest like pools — a stage can itself be a Pool.
+	Pipeline = core.Pipeline
+	// StageTarget is the streaming stage contract: a Target that also
+	// knows how to forward its Results downstream as typed Items.
+	// Plain Targets gain the standard hop via AsStage.
+	StageTarget = core.StageTarget
+	// PipelineOptions configures a Pipeline (per-boundary in-flight
+	// windows, per-stage result hooks).
+	PipelineOptions = core.PipelineOptions
+)
+
+// NewPipeline composes a serial stage chain over the given targets
+// (adapted via AsStage as needed). The resulting composite is itself
+// a Target: the first stage pulls from the source, the last stage's
+// results reach the sink, and a job finishes only when every stage
+// has drained.
+func NewPipeline(stages []Target, opts PipelineOptions) (*Pipeline, error) {
+	return core.NewPipeline(stages, opts)
+}
+
+// AsStage adapts a plain Target into a StageTarget using the standard
+// activation hop (output tensor becomes the downstream input, arrival
+// stamp and label carried through). Targets that already implement
+// StageTarget pass through unchanged.
+func AsStage(t Target) StageTarget { return core.AsStage(t) }
+
 // Sessions: the declarative front door.
 type (
 	// Session owns one classification run end to end: environment,
@@ -397,6 +428,12 @@ type (
 	DeviceGroup = pipeline.Group
 	// GroupKind identifies a group's device family.
 	GroupKind = pipeline.GroupKind
+	// StageConfig declares one stage of a split (model-parallel)
+	// session: the device group running one network segment and the
+	// bounded in-flight window to the next stage. Mirrors
+	// SessionConfig: WithStages builds the chain, Config.Stages holds
+	// it.
+	StageConfig = pipeline.Stage
 	// Report is the unified outcome of a session run.
 	Report = pipeline.Report
 	// TargetReport is the per-group slice of a Report.
@@ -419,6 +456,26 @@ func NewSession(opts ...SessionOption) (*Session, error) { return pipeline.New(o
 // NewSessionFromConfig builds a session from an explicit config.
 func NewSessionFromConfig(cfg SessionConfig) (*Session, error) { return pipeline.NewFromConfig(cfg) }
 
+// CPUStage declares a split-session stage on the Caffe-MKL CPU at the
+// given batch size.
+func CPUStage(batch int) StageConfig { return pipeline.CPUStage(batch) }
+
+// GPUStage declares a split-session stage on the Caffe-cuDNN GPU at
+// the given batch size.
+func GPUStage(batch int) StageConfig { return pipeline.GPUStage(batch) }
+
+// VPUStage declares a split-session stage on n Neural Compute Sticks
+// running the parallel NCSw pipeline over the stage's segment.
+func VPUStage(n int) StageConfig { return pipeline.VPUStage(n) }
+
+// CustomStage declares a split-session stage on a caller-provided
+// target, used as-is with an empty network span (the target prices
+// whatever cost model it implements).
+func CustomStage(t Target) StageConfig { return pipeline.CustomStage(t) }
+
+// Session options — workload. What is classified, which network does
+// it, and the seeds that make the run reproducible.
+
 // WithDataset sets the synthetic dataset configuration.
 func WithDataset(cfg DatasetConfig) SessionOption { return pipeline.WithDataset(cfg) }
 
@@ -429,25 +486,37 @@ func WithImages(n int) SessionOption { return pipeline.WithImages(n) }
 // performance, devices pay full simulated costs but skip arithmetic).
 func WithFunctional(on bool) SessionOption { return pipeline.WithFunctional(on) }
 
+// WithGoogLeNet forces the full BVLC GoogLeNet workload.
+func WithGoogLeNet() SessionOption { return pipeline.WithGoogLeNet() }
+
+// WithMicroNet forces the scaled-down inception network with the
+// given geometry.
+func WithMicroNet(cfg MicroConfig) SessionOption { return pipeline.WithMicroNet(cfg) }
+
+// WithNetwork supplies a prebuilt workload network, used as-is (no
+// construction or classifier calibration) — share one network across
+// several sessions.
+func WithNetwork(g *Graph) SessionOption { return pipeline.WithNetwork(g) }
+
+// WithBlob supplies a precompiled NCS graph file for the VPU groups,
+// skipping per-session compilation; pair with WithNetwork. Not
+// applicable to split sessions, whose stage segments compile
+// per stage.
+func WithBlob(blob []byte) SessionOption { return pipeline.WithBlob(blob) }
+
+// WithTemperature overrides the prototype-classifier softmax scale.
+func WithTemperature(t float32) SessionOption { return pipeline.WithTemperature(t) }
+
 // WithSeed sets the simulation seed for every stochastic component.
 func WithSeed(seed uint64) SessionOption { return pipeline.WithSeed(seed) }
 
 // WithNetSeed sets the network weight seed (default 42).
 func WithNetSeed(seed uint64) SessionOption { return pipeline.WithNetSeed(seed) }
 
-// WithRouting selects the device-group scheduler (default
-// WeightedByThroughput).
-func WithRouting(r Routing) SessionOption { return pipeline.WithRouting(r) }
-
-// WithQueueDepth bounds the per-group feed queues of the dealt
-// routing policies (default 2).
-func WithQueueDepth(d int) SessionOption { return pipeline.WithQueueDepth(d) }
-
-// WithRetain keeps every per-inference Result on the report.
-func WithRetain(on bool) SessionOption { return pipeline.WithRetain(on) }
-
-// WithTimeline attaches a Fig. 4 execution timeline to every group.
-func WithTimeline(tl *Timeline) SessionOption { return pipeline.WithTimeline(tl) }
+// Session options — fleet. Which devices run the workload and how
+// work is distributed across them: dealt device groups (every group
+// runs whole inferences) or a model-parallel stage chain (each stage
+// runs one network segment).
 
 // WithCPU adds a Caffe-MKL CPU group at the given batch size.
 func WithCPU(batch int) SessionOption { return pipeline.WithCPU(batch) }
@@ -461,6 +530,11 @@ func WithVPUs(n int) SessionOption { return pipeline.WithVPUs(n) }
 
 // WithVPUOptions adds a VPU group with explicit pipeline options
 // (scheduling, overlap, host overhead).
+//
+// Deprecated: use WithGroup(DeviceGroup{Kind: VPUGroup, Devices: n,
+// VPUOptions: &opts}) — or, in a split session, a StageConfig whose
+// Group carries the options. The group/stage structs subsume this
+// wrapper; it remains for compatibility.
 func WithVPUOptions(n int, opts VPUOptions) SessionOption { return pipeline.WithVPUOptions(n, opts) }
 
 // WithTarget adds a custom Target as its own device group.
@@ -469,6 +543,35 @@ func WithTarget(t Target) SessionOption { return pipeline.WithTarget(t) }
 // WithGroup adds a fully specified device group (explicit weights,
 // VPU overrides).
 func WithGroup(g DeviceGroup) SessionOption { return pipeline.WithGroup(g) }
+
+// WithStages runs the session as a model-parallel pipeline: the
+// workload network is split at the WithCut boundaries into one
+// segment per stage, each stage runs its segment on its own device
+// group (CPUStage/GPUStage/VPUStage/CustomStage), and intermediate
+// activations stream between stages under bounded in-flight windows
+// with backpressure end to end. Mutually exclusive with the
+// device-group options above.
+func WithStages(stages ...StageConfig) SessionOption { return pipeline.WithStages(stages...) }
+
+// WithCut sets the whole-network layer boundaries partitioning the
+// workload across the WithStages chain (one fewer cut than stages,
+// ascending; Graph.ValidCuts enumerates the legal interior
+// boundaries). A degenerate cut (0 or the layer count) collapses its
+// empty stage, and a single surviving stage runs bit-identical to the
+// classic single-group session.
+func WithCut(cuts ...int) SessionOption { return pipeline.WithCut(cuts...) }
+
+// WithRouting selects the device-group scheduler (default
+// WeightedByThroughput). Pipeline sessions are serial and ignore it.
+func WithRouting(r Routing) SessionOption { return pipeline.WithRouting(r) }
+
+// WithQueueDepth bounds the per-group feed queues of the dealt
+// routing policies, and the default per-boundary in-flight window of
+// a split session (default 2).
+func WithQueueDepth(d int) SessionOption { return pipeline.WithQueueDepth(d) }
+
+// Session options — serving. How work arrives and is admitted: open-
+// loop arrivals, deadlines, bounded ingress, adaptive batch assembly.
 
 // WithArrivals wraps the session source in an open-loop arrival
 // process, turning the run into a serving measurement: items become
@@ -491,14 +594,6 @@ func WithAdmission(depth int, policy OverloadPolicy) SessionOption {
 	return pipeline.WithAdmission(depth, policy)
 }
 
-// WithAdaptiveBatching makes every CPU/GPU group assemble batches
-// adaptively: batch size tracks the observed backlog and a partial
-// batch closes at most maxWait after its first item was pulled, so
-// lightly loaded batch devices serve at single-item latency.
-func WithAdaptiveBatching(maxWait time.Duration) SessionOption {
-	return pipeline.WithAdaptiveBatching(maxWait)
-}
-
 // WithAdmissionShrink extends WithAdmission with health-aware depth:
 // during a device outage the admission bound shrinks proportionally
 // to healthy capacity (floored at minDepth; 0 = 1), so queued work
@@ -508,13 +603,21 @@ func WithAdmissionShrink(minDepth int) SessionOption {
 	return pipeline.WithAdmissionShrink(minDepth)
 }
 
-// WithHedging arms speculative hedged requests — the tail-at-scale
-// defense: an item in flight past the trigger (fixed delay, or a live
-// latency quantile) is duplicated onto a different healthy device
-// group or stick, the first completion wins, and the loser is
-// cancelled in-queue or discarded with full dedup accounting
-// (Report.Hedged/HedgeWins/HedgeWaste).
-func WithHedging(hc HedgeConfig) SessionOption { return pipeline.WithHedging(hc) }
+// WithAdaptiveBatching makes every CPU/GPU group assemble batches
+// adaptively: batch size tracks the observed backlog and a partial
+// batch closes at most maxWait after its first item was pulled, so
+// lightly loaded batch devices serve at single-item latency.
+func WithAdaptiveBatching(maxWait time.Duration) SessionOption {
+	return pipeline.WithAdaptiveBatching(maxWait)
+}
+
+// WithStream replaces the dataset source with a push-style stream of
+// the given buffer capacity (0 = unbounded); feed it via
+// Session.Stream from a producer process on Session.Env.
+func WithStream(capacity int) SessionOption { return pipeline.WithStream(capacity) }
+
+// Session options — reliability. What goes wrong and what the session
+// does about it: fault injection, self-healing, hedged requests.
 
 // WithFaults injects a deterministic fault plan into the session's
 // devices as the run unfolds: stick hangs, USB link drops, transient
@@ -533,29 +636,24 @@ func WithFaults(plan FaultPlan) SessionOption { return pipeline.WithFaults(plan)
 // session defaults to DefaultRecoveryConfig().
 func WithRecovery(rc RecoveryConfig) SessionOption { return pipeline.WithRecovery(rc) }
 
-// WithStream replaces the dataset source with a push-style stream of
-// the given buffer capacity (0 = unbounded); feed it via
-// Session.Stream from a producer process on Session.Env.
-func WithStream(capacity int) SessionOption { return pipeline.WithStream(capacity) }
+// WithHedging arms speculative hedged requests — the tail-at-scale
+// defense: an item in flight past the trigger (fixed delay, or a live
+// latency quantile) is duplicated onto a different healthy device
+// group or stick, the first completion wins, and the loser is
+// cancelled in-queue or discarded with full dedup accounting
+// (Report.Hedged/HedgeWins/HedgeWaste). Not applicable to split
+// sessions: hedging duplicates whole inferences, which does not
+// compose with serial stages.
+func WithHedging(hc HedgeConfig) SessionOption { return pipeline.WithHedging(hc) }
 
-// WithGoogLeNet forces the full BVLC GoogLeNet workload.
-func WithGoogLeNet() SessionOption { return pipeline.WithGoogLeNet() }
+// Session options — observability. What the run records beyond the
+// aggregate report.
 
-// WithNetwork supplies a prebuilt workload network, used as-is (no
-// construction or classifier calibration) — share one network across
-// several sessions.
-func WithNetwork(g *Graph) SessionOption { return pipeline.WithNetwork(g) }
+// WithRetain keeps every per-inference Result on the report.
+func WithRetain(on bool) SessionOption { return pipeline.WithRetain(on) }
 
-// WithBlob supplies a precompiled NCS graph file for the VPU groups,
-// skipping per-session compilation; pair with WithNetwork.
-func WithBlob(blob []byte) SessionOption { return pipeline.WithBlob(blob) }
-
-// WithMicroNet forces the scaled-down inception network with the
-// given geometry.
-func WithMicroNet(cfg MicroConfig) SessionOption { return pipeline.WithMicroNet(cfg) }
-
-// WithTemperature overrides the prototype-classifier softmax scale.
-func WithTemperature(t float32) SessionOption { return pipeline.WithTemperature(t) }
+// WithTimeline attaches a Fig. 4 execution timeline to every group.
+func WithTimeline(tl *Timeline) SessionOption { return pipeline.WithTimeline(tl) }
 
 // NewCollector creates a result collector; retain keeps every result.
 func NewCollector(retain bool) *Collector { return core.NewCollector(retain) }
@@ -702,6 +800,12 @@ type (
 	// for a kernel hot path, paired with the committed pre-rewrite
 	// baseline.
 	KernelPoint = bench.KernelPoint
+	// SplitPoint is one measurement of the split-inference experiment
+	// (Benchmarks.SplitPoints): throughput and tail latency per
+	// partition point for a 4-VPU head feeding a CPU/GPU tail, against
+	// whole-inference baselines at equal fleet, plus a boundary-window
+	// sweep at the best cut.
+	SplitPoint = bench.SplitPoint
 )
 
 // DefaultBenchConfig returns the paper-scale experiment configuration.
