@@ -22,6 +22,8 @@
 //	ncsw-bench -kernel -json           # machine-readable kernel points (BENCH_PR7.json)
 //	ncsw-bench -split                  # split inference: throughput vs partition point
 //	ncsw-bench -split -json            # machine-readable split points (BENCH_PR8.json)
+//	ncsw-bench -tenants                # multi-tenant isolation: per-tenant goodput vs admission scheduler
+//	ncsw-bench -tenants -json          # machine-readable tenant points (BENCH_PR9.json)
 //	ncsw-bench -cpuprofile cpu.pprof   # write a CPU profile of the run (any mode)
 //	ncsw-bench -memprofile mem.pprof   # write an allocation profile at exit (any mode)
 package main
@@ -65,8 +67,10 @@ func main() {
 		"run the simulation-kernel microbenchmarks (ops/sec and allocs/op per hot path vs the committed pre-rewrite baseline)")
 	split := flag.Bool("split", false,
 		"run the split-inference experiment (pipeline throughput vs partition point and boundary window, against whole-inference baselines)")
+	tenants := flag.Bool("tenants", false,
+		"run the multi-tenant experiment (per-tenant goodput under a flash-crowd mix: FIFO vs weighted-fair vs priority admission)")
 	jsonOut := flag.Bool("json", false,
-		"with -serve, -slo, -faults, -hedge, -kernel or -split: emit the experiment's points as JSON (the BENCH_PR*.json format)")
+		"with -serve, -slo, -faults, -hedge, -kernel, -split or -tenants: emit the experiment's points as JSON (the BENCH_PR*.json format)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -126,22 +130,22 @@ func main() {
 
 	ids := repro.ExperimentIDs()
 	if *experiment != "all" {
-		if *serve || *slo || *faults || *hedge || *kernel || *split {
-			log.Fatal("-serve/-slo/-faults/-hedge/-kernel/-split and -experiment are mutually exclusive (use -experiment serving,slo,resilience,hedge,kernel,split to mix)")
+		if *serve || *slo || *faults || *hedge || *kernel || *split || *tenants {
+			log.Fatal("-serve/-slo/-faults/-hedge/-kernel/-split/-tenants and -experiment are mutually exclusive (use -experiment serving,slo,resilience,hedge,kernel,split,tenants to mix)")
 		}
 		ids = strings.Split(*experiment, ",")
 	}
 	modes := 0
-	for _, on := range []bool{*serve, *slo, *faults, *hedge, *kernel, *split} {
+	for _, on := range []bool{*serve, *slo, *faults, *hedge, *kernel, *split, *tenants} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		log.Fatal("-serve, -slo, -faults, -hedge, -kernel and -split are mutually exclusive")
+		log.Fatal("-serve, -slo, -faults, -hedge, -kernel, -split and -tenants are mutually exclusive")
 	}
 	if *jsonOut && modes == 0 {
-		log.Fatal("-json requires -serve, -slo, -faults, -hedge, -kernel or -split (only their points have a JSON form)")
+		log.Fatal("-json requires -serve, -slo, -faults, -hedge, -kernel, -split or -tenants (only their points have a JSON form)")
 	}
 	if *serve {
 		if *jsonOut {
@@ -184,6 +188,13 @@ func main() {
 			return
 		}
 		ids = []string{"split"}
+	}
+	if *tenants {
+		if *jsonOut {
+			emitTenantsJSON(h)
+			return
+		}
+		ids = []string{"tenants"}
 	}
 	for _, id := range ids {
 		start := time.Now()
@@ -319,6 +330,27 @@ func emitSplitJSON(h *repro.Benchmarks) {
 		Experiment string             `json:"experiment"`
 		Points     []repro.SplitPoint `json:"points"`
 	}{Experiment: "split", Points: points}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// emitTenantsJSON runs the multi-tenant experiment and emits the
+// machine-readable points (per scheduler, aggregate load and tenant:
+// offered vs achieved rate, tails, goodput against the tenant's own
+// SLO, and shed/expired/quota drops) that scripts/bench.sh stores as
+// the current PR's BENCH_PR*.json snapshot. Fully simulated: two
+// emissions at the same seed are byte-identical.
+func emitTenantsJSON(h *repro.Benchmarks) {
+	points, err := h.TenantPoints()
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Experiment string              `json:"experiment"`
+		Points     []repro.TenantPoint `json:"points"`
+	}{Experiment: "tenants", Points: points}); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestTenantsTraceGolden pins the -tenants timeline byte for byte: a
+// fixed (devices, images, seed) session renders per-tenant lanes
+// identically on every run and platform — the chart is simulator
+// output, not wall-clock measurement. Regenerate with
+// `go test ./cmd/ncsw-trace -run Golden -update` after an intentional
+// scheduling or pricing change.
+func TestTenantsTraceGolden(t *testing.T) {
+	got, err := tenantsTrace(2, 80, 1, 100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := tenantsTrace(2, 80, 1, 100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != again {
+		t.Fatal("tenants trace differs across reruns of the same configuration")
+	}
+	golden := filepath.Join("testdata", "tenants.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("tenants trace diverged from golden:\n--- got\n%s--- want\n%s", got, want)
+	}
+}
+
+// TestTenantsTraceCSV sanity-checks the machine-readable form: every
+// tenant declared by the scenario owns at least one lane span.
+func TestTenantsTraceCSV(t *testing.T) {
+	out, err := tenantsTrace(2, 40, 1, 100, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"ten:gold", "ten:silver", "ten:batch"} {
+		if !containsTrack(out, id) {
+			t.Errorf("CSV output has no spans for %s:\n%s", id, out)
+		}
+	}
+}
+
+// containsTrack reports whether any CSV record names the given track.
+func containsTrack(csv, track string) bool {
+	for _, line := range strings.Split(csv, "\n") {
+		if strings.HasPrefix(line, track+",") {
+			return true
+		}
+	}
+	return false
+}

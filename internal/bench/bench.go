@@ -201,6 +201,7 @@ func (h *Harness) All() ([]*Table, error) {
 		{"hedge", h.Hedge},
 		{"kernel", h.Kernel},
 		{"split", h.Split},
+		{"tenants", h.Tenants},
 	}
 	var out []*Table
 	for _, g := range gens {
@@ -248,6 +249,8 @@ func (h *Harness) Experiment(id string) (*Table, error) {
 		return h.Kernel()
 	case "split":
 		return h.Split()
+	case "tenants":
+		return h.Tenants()
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", id, ExperimentIDs())
 	}
@@ -269,5 +272,5 @@ func precisionImages(cfg Config) int {
 // ExperimentIDs lists the available artefacts: the paper's figures in
 // order, the headline summary, and the beyond-the-paper studies.
 func ExperimentIDs() []string {
-	return []string{"fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "summary", "ablation", "precision", "gemm", "serving", "slo", "resilience", "hedge", "kernel", "split"}
+	return []string{"fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "summary", "ablation", "precision", "gemm", "serving", "slo", "resilience", "hedge", "kernel", "split", "tenants"}
 }

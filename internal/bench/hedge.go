@@ -86,13 +86,18 @@ type hedgeVariant struct {
 	hc   core.HedgeConfig
 }
 
-// hedgeBudget caps hedge volume at this fraction of dispatches for
-// every firing variant. Without it an aggressive trigger at 65% load
-// feeds on its own queueing — each duplicate adds load, load adds
-// latency, latency fires more triggers — and the hedge storm can
+// hedgeBudget is the base hedge-volume cap for every firing variant,
+// scaled live by fleet utilization (core.HedgeConfig.DynamicBudget):
+// lightly loaded, up to this fraction of dispatches may be
+// duplicated; near saturation the effective budget shrinks toward
+// zero and hedging stops. Without any budget an aggressive trigger at
+// 65% load feeds on its own queueing — each duplicate adds load, load
+// adds latency, latency fires more triggers — and the hedge storm can
 // saturate a perfectly healthy system (measured: a budgetless 2x
 // trigger on the pool config duplicated half the offered items and
-// collapsed goodput to 8% with no fault injected at all).
+// collapsed goodput to 8% with no fault injected at all). The
+// utilization scaling cuts that feedback loop at its source instead
+// of merely rationing it.
 const hedgeBudget = 0.15
 
 // hedgeVariants builds the sweep for one configuration. unit is the
@@ -101,9 +106,9 @@ func hedgeVariants(unit time.Duration) []hedgeVariant {
 	return []hedgeVariant{
 		{name: "off", hc: core.HedgeConfig{}},
 		{name: "inf", hc: core.HedgeConfig{Trigger: core.HedgeNever}},
-		{name: "t2", hc: core.HedgeConfig{Trigger: 2 * unit, Budget: hedgeBudget}},
-		{name: "t4", hc: core.HedgeConfig{Trigger: 4 * unit, Budget: hedgeBudget}},
-		{name: "p95", hc: core.HedgeConfig{Quantile: 0.95, Budget: hedgeBudget}},
+		{name: "t2", hc: core.HedgeConfig{Trigger: 2 * unit, Budget: hedgeBudget, DynamicBudget: true}},
+		{name: "t4", hc: core.HedgeConfig{Trigger: 4 * unit, Budget: hedgeBudget, DynamicBudget: true}},
+		{name: "p95", hc: core.HedgeConfig{Quantile: 0.95, Budget: hedgeBudget, DynamicBudget: true}},
 	}
 }
 
@@ -252,7 +257,7 @@ func (h *Harness) Hedge() (*Table, error) {
 			"all variants run under self-healing recovery (2s heartbeat); hedging answers in milliseconds, the reboot in seconds",
 			"t2/t4 = fixed trigger at 2x/4x the per-stick service unit; p95 = live-quantile trigger after a 20-completion warmup",
 			"every variant of one (config, faults) cell faces identical arrivals, jitter and faults",
-			fmt.Sprintf("firing variants carry a %.0f%% hedge budget: an unbudgeted aggressive trigger feeds on its own queueing and can saturate a healthy system", hedgeBudget*100),
+			fmt.Sprintf("firing variants carry a dynamic hedge budget (%.0f%% base, scaled by fleet headroom to zero at saturation): an unbudgeted aggressive trigger feeds on its own queueing and can saturate a healthy system", hedgeBudget*100),
 			"hedging pays most on the monolithic vpu-4 target; the health-aware pool already routes around outages, so duplicates there mostly buy waste",
 		},
 	}

@@ -3,6 +3,9 @@ package bench
 import (
 	"reflect"
 	"testing"
+	"time"
+
+	"repro/internal/core"
 )
 
 // TestHedgeShape asserts the hedge experiment's qualitative content
@@ -84,5 +87,63 @@ func TestHedgeShape(t *testing.T) {
 	}
 	if !improved {
 		t.Errorf("no firing variant beat vpu-4/light unhedged p99 %.1fms: %+v", off.P99MS, light)
+	}
+}
+
+// TestDynamicBudgetSuppressesHedgeStorm replays the incident the
+// hedge budget exists for — a budgetless 2x trigger on the pooled
+// config, no fault injected, collapsing a healthy fleet's goodput by
+// feeding on its own queueing (the BENCH_PR5 storm, measured at 8%
+// goodput) — and pins down that the utilization-scaled dynamic budget
+// keeps it suppressed:
+//
+//  1. the storm is still real: the budgetless variant duplicates an
+//     outsized share of the offered items and loses a large fraction
+//     of the unhedged goodput (the regression this test guards would
+//     otherwise be invisible);
+//  2. the dynamic budget defuses it: same trigger, same traffic, same
+//     seeds, goodput within 1% of the unhedged baseline;
+//  3. the suppression is the budget's doing, not the trigger going
+//     quiet — the dynamic variant launches far fewer duplicates than
+//     the storm.
+func TestDynamicBudgetSuppressesHedgeStorm(t *testing.T) {
+	skipHeavy(t)
+	h := harness(t)
+	cfg := resilienceConfigs()[1] // pool-4x1, the storm-prone config
+	if !cfg.pooled {
+		t.Fatalf("expected the pooled config, got %+v", cfg)
+	}
+	images := resilienceWindowScale * h.cfg.ImagesPerSubset
+	capacity, ready, err := h.resilienceCapacity(cfg, images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slo := time.Duration(sloServiceMultiple * float64(cfg.sticks) / capacity * float64(time.Second))
+	unit := time.Duration(float64(cfg.sticks) / capacity * float64(time.Second))
+	rate := capacity * resilienceLoad
+	window := time.Duration(float64(images) / rate * float64(time.Second))
+	level := resilienceLevels()[0] // "none": the storm needs no fault to collapse a healthy fleet
+	run := func(name string, hc core.HedgeConfig) HedgePoint {
+		t.Helper()
+		pt, err := h.hedgePoint(cfg, level, hedgeVariant{name: name, hc: hc}, images, rate, ready, window, slo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pt
+	}
+	off := run("off", core.HedgeConfig{})
+	storm := run("storm", core.HedgeConfig{Trigger: 2 * unit})
+	dyn := run("dyn", core.HedgeConfig{Trigger: 2 * unit, Budget: hedgeBudget, DynamicBudget: true})
+	if storm.GoodputPct > 0.7*off.GoodputPct {
+		t.Errorf("budgetless 2x trigger no longer storms (goodput %.1f%% vs %.1f%% unhedged) — this regression gate is measuring nothing",
+			storm.GoodputPct, off.GoodputPct)
+	}
+	if dyn.GoodputPct < 0.99*off.GoodputPct {
+		t.Errorf("dynamic budget failed to suppress the hedge storm: goodput %.1f%% vs %.1f%% unhedged",
+			dyn.GoodputPct, off.GoodputPct)
+	}
+	if storm.Hedged == 0 || dyn.Hedged >= storm.Hedged/2 {
+		t.Errorf("dynamic budget launched %d duplicates vs the storm's %d — suppression should come from withheld hedges",
+			dyn.Hedged, storm.Hedged)
 	}
 }

@@ -28,12 +28,15 @@ var splitDepths = []int{4, 8, 16, 32, 64, 128}
 // equal-fleet dealt pools); cut points run the same fleet as a
 // model-parallel pipeline partitioned at a whole-network layer
 // boundary; depth points re-run the best cut under different boundary
-// in-flight windows.
+// in-flight windows; replicas points re-run the best cut with one
+// stage widened into a pool of identical replica groups
+// (pipeline.Stage.Replicas).
 type SplitPoint struct {
 	// Config names the fleet ("gpu-b32", "pool-4vpu+gpu",
 	// "split-4vpu+gpu", ...).
 	Config string `json:"config"`
-	// Kind classifies the point: "baseline", "cut" or "depth".
+	// Kind classifies the point: "baseline", "cut", "depth" or
+	// "replicas".
 	Kind string `json:"kind"`
 	// Cut is the whole-network partition index (-1 for baselines).
 	Cut int `json:"cut"`
@@ -42,6 +45,10 @@ type SplitPoint struct {
 	CutLayer string `json:"cut_layer"`
 	// QueueDepth is the boundary in-flight window (0 for baselines).
 	QueueDepth int `json:"queue_depth"`
+	// Replicas is the widened stage's replica-group count (0 for
+	// every unreplicated point; the Config name says which stage was
+	// widened).
+	Replicas int `json:"replicas"`
 	// ThroughputIPS is the measured steady-state completion rate.
 	ThroughputIPS float64 `json:"throughput_img_per_s"`
 	// P50MS and P99MS are the per-item latency quantiles in
@@ -164,6 +171,30 @@ func (h *Harness) SplitPoints() ([]SplitPoint, error) {
 		}
 		points = append(points, pt)
 	}
+
+	// Stage-parallel replicas at the best cut: widen one stage into a
+	// pool of identical replica groups (pipeline.Stage.Replicas) and
+	// see what extra hardware at the bottleneck buys over recutting.
+	replicaCases := []struct {
+		name       string
+		head, tail pipeline.Stage
+	}{
+		{"split-2x4vpu+gpu", head(splitHeadWindow).Replicated(2), pipeline.GPUStage(32)},
+		{"split-4vpu+2xgpu", head(splitHeadWindow), pipeline.GPUStage(32).Replicated(2)},
+	}
+	for _, rc := range replicaCases {
+		name := fmt.Sprintf("%s@%s", rc.name, layerAt(bestCut))
+		pt, err := h.splitSession(name, "replicas", bestCut, layerAt(bestCut), splitHeadWindow,
+			[]pipeline.Option{
+				pipeline.WithStages(rc.head, rc.tail),
+				pipeline.WithCut(bestCut),
+			})
+		if err != nil {
+			return nil, err
+		}
+		pt.Replicas = 2
+		points = append(points, pt)
+	}
 	return points, nil
 }
 
@@ -179,24 +210,28 @@ func (h *Harness) Split() (*Table, error) {
 		ID:    "split",
 		Title: "Split inference: throughput vs partition point (4-VPU head + batch tail)",
 		Columns: []string{
-			"config", "cut", "cut layer", "window", "img/s", "p50 ms", "p99 ms",
+			"config", "cut", "cut layer", "window", "rep", "img/s", "p50 ms", "p99 ms",
 		},
 		Notes: []string{
 			fmt.Sprintf("images per point: %d; closed-loop drain per session", splitImages(h.cfg)),
 			"baselines run whole inferences; split rows run the same devices as a two-stage pipeline",
 			"window is the boundary in-flight bound between head and tail (credit-based backpressure)",
+			"replicas rows widen one stage of the best cut into a pool of identical replica groups (extra hardware at the bottleneck, same partition)",
 		},
 	}
 	bestBase, bestBaseName := 0.0, ""
 	bestSplit, bestSplitName := 0.0, ""
 	for _, p := range points {
-		cut, layer, window := "-", p.CutLayer, "-"
+		cut, layer, window, rep := "-", p.CutLayer, "-", "-"
 		if p.Kind != "baseline" {
 			cut = fmt.Sprintf("%d", p.Cut)
 			window = fmt.Sprintf("%d", p.QueueDepth)
 		}
+		if p.Kind == "replicas" {
+			rep = fmt.Sprintf("%d", p.Replicas)
+		}
 		t.AddRow(
-			p.Config, cut, layer, window,
+			p.Config, cut, layer, window, rep,
 			fmt.Sprintf("%.1f", p.ThroughputIPS),
 			fmt.Sprintf("%.1f", p.P50MS),
 			fmt.Sprintf("%.1f", p.P99MS),
@@ -210,6 +245,13 @@ func (h *Harness) Split() (*Table, error) {
 			if p.ThroughputIPS > bestSplit {
 				bestSplit, bestSplitName = p.ThroughputIPS, p.Config
 			}
+		}
+	}
+	for _, p := range points {
+		if p.Kind == "replicas" && bestSplit > 0 {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"%s: %.1f img/s (%+.0f%% vs the best unreplicated cut at %.1f img/s)",
+				p.Config, p.ThroughputIPS, (p.ThroughputIPS/bestSplit-1)*100, bestSplit))
 		}
 	}
 	if bestSplit > bestBase {

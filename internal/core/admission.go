@@ -76,6 +76,10 @@ const (
 	// fault-attributed drop the self-healing pipeline reports so
 	// goodput stays honest.
 	DropFailed
+	// DropQuota marks an arrival rejected by its tenant's quota (max
+	// in-flight or admitted-rate) before reaching any queue — the
+	// tenant exceeded its contract, not the fleet its capacity.
+	DropQuota
 )
 
 // String names the reason.
@@ -85,6 +89,8 @@ func (d DropReason) String() string {
 		return "expired"
 	case DropFailed:
 		return "failed"
+	case DropQuota:
+		return "quota"
 	}
 	return "shed"
 }

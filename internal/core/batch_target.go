@@ -276,6 +276,7 @@ func (t *BatchTarget) emit(batch []Item, pulls []time.Duration, start, end time.
 			ArrivedAt:    item.ArrivedAt,
 			DispatchedAt: pulls[i],
 			Device:       t.name,
+			Tenant:       item.Tenant,
 		}
 		if outputs != nil {
 			row := tensor.FromSlice(outputs.Data[i*classes:(i+1)*classes], classes)

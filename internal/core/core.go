@@ -41,6 +41,12 @@ type Item struct {
 	// (pull-on-demand) sources. Targets carry it onto the Result so
 	// queueing delay is separable from service time.
 	ArrivedAt time.Duration
+	// Tenant identifies the traffic class the item belongs to in a
+	// multi-tenant session ("" for untenanted runs). Stamped by the
+	// tenant multiplexer at admission and carried through every target
+	// onto the Result so per-tenant accounting survives pooling,
+	// batching and stage hops.
+	Tenant string
 }
 
 // Source produces items. Next blocks in virtual time when the source
@@ -73,6 +79,9 @@ type Result struct {
 	DispatchedAt time.Duration
 	// Device identifies which device produced the result.
 	Device string
+	// Tenant is the traffic class the item belonged to (copied from
+	// Item.Tenant; "" for untenanted runs).
+	Tenant string
 	// Err records a functional inference failure.
 	Err error
 }
@@ -342,6 +351,10 @@ type Collector struct {
 	// redelivery budget ran out (NoteDrop with DropFailed) — they count
 	// against goodput like any other drop.
 	FaultDrops int
+	// QuotaRejected counts arrivals a tenant quota turned away at the
+	// admission edge (NoteDrop with DropQuota); they count against that
+	// tenant's goodput like any other drop.
+	QuotaRejected int
 	// Retries counts fault-triggered redeliveries (NoteRetry).
 	Retries int
 	// Hedged counts speculative duplicates launched, HedgeWins
@@ -415,6 +428,8 @@ func (c *Collector) NoteDrop(reason DropReason) {
 		c.Expired++
 	case DropFailed:
 		c.FaultDrops++
+	case DropQuota:
+		c.QuotaRejected++
 	default:
 		c.Shed++
 	}
@@ -489,7 +504,9 @@ func (c *Collector) DowntimeThrough(end time.Duration) time.Duration {
 
 // Arrivals returns everything the serving system was offered: served
 // results plus every kind of drop.
-func (c *Collector) Arrivals() int { return c.N + c.Shed + c.Expired + c.FaultDrops }
+func (c *Collector) Arrivals() int {
+	return c.N + c.Shed + c.Expired + c.FaultDrops + c.QuotaRejected
+}
 
 // Goodput returns the fraction of arrivals that completed within the
 // SLO — the serving metric bounded admission defends past the

@@ -55,6 +55,18 @@ type HedgeConfig struct {
 	// unlimited. A trigger that fires over budget is skipped, not
 	// deferred.
 	Budget float64
+	// DynamicBudget scales Budget by the fleet's observed headroom:
+	// the effective budget is Budget × (1 − utilization), where
+	// utilization is the fraction of the fleet's in-flight capacity
+	// (queue slots plus execution slots, supplied by the owning Pool
+	// or VPUTarget) occupied by tracked items. Lightly loaded, nearly
+	// the whole Budget is available; near saturation the effective
+	// budget shrinks toward zero and hedging stops entirely — a
+	// duplicate launched into a full fleet can only add queueing, so
+	// the classic hedge-storm feedback (duplicates add load, load adds
+	// latency, latency fires more triggers) is cut at its source.
+	// Requires Budget > 0.
+	DynamicBudget bool
 	// OnHedge observes every launched duplicate with the child (pool
 	// group or VPU worker) index that received it.
 	OnHedge func(item Item, child int, at time.Duration)
@@ -83,6 +95,9 @@ func (hc HedgeConfig) Validate() error {
 	}
 	if hc.Budget < 0 {
 		return fmt.Errorf("core: negative hedge budget %g", hc.Budget)
+	}
+	if hc.DynamicBudget && hc.Budget <= 0 {
+		return fmt.Errorf("core: dynamic hedge budget needs a base Budget > 0")
 	}
 	return nil
 }
@@ -130,6 +145,8 @@ type hedger struct {
 	free       []*hedgeEntry // recycled entries (single-threaded freelist)
 	tracked    int           // primary dispatches seen (the budget denominator)
 	launched   int           // duplicates issued
+	inflight   int           // tracked items dispatched but not yet first-completed or lost
+	capacity   int           // owner-supplied in-flight capacity (queue + exec slots); 0 = unknown
 	redispatch func(item Item, exclude int) (int, bool)
 	cancelCopy func(index, child int) bool
 	// trigCache memoizes the quantile-derived trigger per sample size:
@@ -141,13 +158,18 @@ type hedger struct {
 }
 
 // newHedger builds the engine, or returns nil when hedging is off.
-func newHedger(env *sim.Env, cfg HedgeConfig, redispatch func(Item, int) (int, bool), cancelCopy func(index, child int) bool) *hedger {
+// capacity is the owner's in-flight ceiling (queue slots plus
+// execution slots across the fleet), the denominator of the
+// DynamicBudget utilization estimate; 0 disables the dynamic scaling
+// and the configured Budget applies as a fixed cap.
+func newHedger(env *sim.Env, cfg HedgeConfig, capacity int, redispatch func(Item, int) (int, bool), cancelCopy func(index, child int) bool) *hedger {
 	if !cfg.Enabled() {
 		return nil
 	}
 	return &hedger{
 		env:        env,
 		cfg:        cfg,
+		capacity:   capacity,
 		entries:    map[int]*hedgeEntry{},
 		redispatch: redispatch,
 		cancelCopy: cancelCopy,
@@ -223,6 +245,7 @@ func (h *hedger) track(item Item, child int, now time.Duration) {
 		return
 	}
 	h.tracked++
+	h.inflight++
 	e := h.getEntry()
 	e.item, e.dispatched, e.primary = item, now, child
 	h.entries[item.Index] = e
@@ -240,13 +263,29 @@ func (h *hedger) track(item Item, child int, now time.Duration) {
 	e.timer = h.env.TimerAt(now+trigger, e.fireFn)
 }
 
+// budgetLimit returns the hedge-volume cap in force right now: the
+// configured Budget, scaled down by fleet utilization when the
+// dynamic budget is on. Everything it reads is deterministic kernel
+// state, so hedged runs stay reproducible bit for bit.
+func (h *hedger) budgetLimit() float64 {
+	limit := h.cfg.Budget
+	if h.cfg.DynamicBudget && h.capacity > 0 {
+		util := float64(h.inflight) / float64(h.capacity)
+		if util > 1 {
+			util = 1
+		}
+		limit *= 1 - util
+	}
+	return limit
+}
+
 // fire launches the duplicate for one aged item, if it is still in
 // flight, within budget, and a different child has queue room.
 func (h *hedger) fire(e *hedgeEntry) {
 	if e.done || e.hedged {
 		return
 	}
-	if h.cfg.Budget > 0 && float64(h.launched+1) > h.cfg.Budget*float64(h.tracked) {
+	if h.cfg.Budget > 0 && float64(h.launched+1) > h.budgetLimit()*float64(h.tracked) {
 		return
 	}
 	child, ok := h.redispatch(e.item, e.primary)
@@ -282,6 +321,7 @@ func (h *hedger) complete(index, child int, now time.Duration) bool {
 		return false
 	}
 	e.done = true
+	h.inflight--
 	if e.timer != 0 {
 		h.env.Cancel(e.timer)
 		e.timer = 0
@@ -371,6 +411,7 @@ func (h *hedger) copyLost(index, child int) bool {
 		h.env.Cancel(e.timer)
 		e.timer = 0
 	}
+	h.inflight--
 	h.release(index, e)
 	return true
 }

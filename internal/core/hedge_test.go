@@ -277,7 +277,7 @@ func TestPoolHedgeStrandedPairCountsOnce(t *testing.T) {
 // a delivered item's stranded duplicate is no loss at all.
 func TestHedgerFilterLostCountsPairOnce(t *testing.T) {
 	env := sim.NewEnv()
-	h := newHedger(env, HedgeConfig{Trigger: time.Millisecond},
+	h := newHedger(env, HedgeConfig{Trigger: time.Millisecond}, 0,
 		func(Item, int) (int, bool) { return 1, true }, nil)
 	// Item 7: hedged, then both copies reclaimed after a total failure.
 	h.track(Item{Index: 7}, 0, 0)

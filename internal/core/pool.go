@@ -428,7 +428,18 @@ func (pl *Pool) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 			}
 			return ok
 		}
-		pl.hedge = newHedger(env, pl.opts.Hedge, redispatch, cancelCopy)
+		// In-flight capacity: each child fleet holds one executing
+		// item plus two queued slots per device, and each bounded feed
+		// adds QueueDepth more — the DynamicBudget utilization
+		// denominator.
+		hcap := 0
+		for _, c := range pl.children {
+			hcap += 3 * targetDeviceCount(c)
+		}
+		if pl.opts.QueueDepth > 0 {
+			hcap += n * pl.opts.QueueDepth
+		}
+		pl.hedge = newHedger(env, pl.opts.Hedge, hcap, redispatch, cancelCopy)
 	}
 
 	for i, c := range pl.children {

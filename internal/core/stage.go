@@ -53,7 +53,7 @@ type StageTarget interface {
 // the downstream device still prices its full segment cost) and the
 // lifecycle stamps survive the hop.
 func stageItem(r Result) Item {
-	return Item{Index: r.Index, Image: r.Output, Label: r.Label, ArrivedAt: r.ArrivedAt}
+	return Item{Index: r.Index, Image: r.Output, Label: r.Label, ArrivedAt: r.ArrivedAt, Tenant: r.Tenant}
 }
 
 // stageAdapter wraps a plain Target as a StageTarget with the

@@ -313,7 +313,10 @@ func (t *VPUTarget) Start(env *sim.Env, src Source, sink func(Result)) *Job {
 				_, ok := queues[child].RemoveWhere(func(it Item) bool { return it.Index == index })
 				return ok
 			}
-			t.hedge = newHedger(env, t.opts.Hedge, redispatch, cancelCopy)
+			// In-flight capacity: per worker, one executing item plus
+			// its two queued slots — the DynamicBudget utilization
+			// denominator.
+			t.hedge = newHedger(env, t.opts.Hedge, 3*n, redispatch, cancelCopy)
 		}
 
 		for i := range t.devices {
@@ -561,6 +564,7 @@ func (t *VPUTarget) worker(p *sim.Proc, dev *ncs.Device, graphs []*ncs.Graph, wi
 			ArrivedAt:    fl.item.ArrivedAt,
 			DispatchedAt: fl.start,
 			Device:       dev.Name(),
+			Tenant:       fl.item.Tenant,
 			Err:          res.Err,
 		}
 		if res.Output != nil {

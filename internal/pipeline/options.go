@@ -7,6 +7,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/imagenet"
 	"repro/internal/nn"
+	"repro/internal/tenant"
 	"repro/internal/trace"
 )
 
@@ -129,6 +130,21 @@ func WithArrivals(a core.Arrivals) Option {
 // items whose deadline lapses while they queue.
 func WithSLO(target time.Duration) Option {
 	return func(c *Config) { c.SLO = target }
+}
+
+// WithTenants runs the session multi-tenant: each declared tenant
+// drives its own open-loop arrival process, the configured scheduler
+// (tenant.FIFO, tenant.WeightedFair, tenant.Priority) multiplexes the
+// per-tenant queues at the admission edge under each tenant's quotas
+// (max in-flight, admitted rate) and shed policy, and the report
+// gains a per-tenant section — throughput, latency tails, goodput
+// against the tenant's own SLO, sheds, expiries and quota rejections.
+// The tenant layer owns the arrival and admission edge, so it is
+// mutually exclusive with WithArrivals, WithAdmission and WithStream.
+// An empty config leaves the session single-tenant, bit-identical to
+// never having called this.
+func WithTenants(tc tenant.Config) Option {
+	return func(c *Config) { c.Tenants = tc }
 }
 
 // WithAdmission bounds the session ingress: an admission queue of the

@@ -38,6 +38,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/tenant"
 	"repro/internal/trace"
 	"repro/internal/usb"
 )
@@ -158,6 +159,16 @@ type Config struct {
 	// SLO is the per-item serving deadline (arrival to completion)
 	// goodput is measured against; 0 disables goodput accounting.
 	SLO time.Duration
+	// Tenants, when it declares any tenant, runs the session
+	// multi-tenant: each tenant drives its own arrival process, the
+	// configured scheduler (FIFO, weighted-fair, strict-priority)
+	// multiplexes the per-tenant queues at the admission edge under
+	// the tenants' quotas and shed policies, and the report gains
+	// per-tenant accounting. Tenants own the arrival and admission
+	// edge, so it is mutually exclusive with Arrivals, WithAdmission
+	// and WithStream. The zero value keeps the session single-tenant
+	// and bit-identical to pre-tenancy runs.
+	Tenants tenant.Config
 	// AdmissionDepth, when positive, bounds the session ingress with
 	// an admission queue of that depth between the source and the
 	// device groups; arrivals beyond it are handled by
@@ -263,7 +274,15 @@ type Session struct {
 	// the recovery hooks installed at build time can reach them.
 	merged   *core.Collector
 	perGroup []*core.Collector
-	ran      bool
+	// Multi-tenant state (nil/empty unless Config.Tenants declares
+	// tenants): the admission-edge scheduler, one collector per tenant
+	// in registration order, and the ID -> index map the sinks and
+	// drop hooks route through.
+	tenantMux      *core.TenantMux
+	perTenant      []*core.Collector
+	perTenantSinks []func(core.Result)
+	tenantIdx      map[string]int
+	ran            bool
 }
 
 // New builds a session from options.
@@ -411,6 +430,24 @@ func validate(cfg *Config) error {
 	if cfg.SLO < 0 {
 		return fmt.Errorf("pipeline: negative SLO %v", cfg.SLO)
 	}
+	if cfg.Tenants.Enabled() {
+		if err := cfg.Tenants.Validate(); err != nil {
+			return fmt.Errorf("pipeline: %w", err)
+		}
+		// The tenant scheduler owns both the arrival edge (one pump
+		// per tenant lane) and the admission edge (per-tenant queues,
+		// quotas, shed policies), so the single-tenant equivalents
+		// cannot compose with it.
+		if cfg.Arrivals != nil {
+			return fmt.Errorf("pipeline: tenant lanes own their arrival processes; WithTenants excludes WithArrivals")
+		}
+		if cfg.StreamCapacity != nil {
+			return fmt.Errorf("pipeline: tenant lanes pace the source themselves; WithTenants excludes WithStream")
+		}
+		if cfg.AdmissionDepth > 0 {
+			return fmt.Errorf("pipeline: the tenant scheduler is the admission edge; WithTenants excludes WithAdmission")
+		}
+	}
 	if cfg.AdmissionDepth < 0 {
 		return fmt.Errorf("pipeline: negative admission depth %d", cfg.AdmissionDepth)
 	}
@@ -517,10 +554,21 @@ func (s *Session) buildTargets() error {
 	} else {
 		groups = append(groups, s.cfg.Groups...)
 	}
+	// A replicated stage occupies one copy of its group per replica
+	// (classic sessions and unreplicated stages count once).
+	reps := make([]int, len(groups))
+	for i := range reps {
+		reps[i] = 1
+		if s.stageMode() {
+			if r := s.stages[i].spec.Replicas; r > 1 {
+				reps[i] = r
+			}
+		}
+	}
 	totalSticks := 0
-	for _, g := range groups {
+	for i, g := range groups {
 		if g.Kind == GroupVPU {
-			totalSticks += g.Devices
+			totalSticks += g.Devices * reps[i]
 		}
 	}
 	var ports []*usb.Port
@@ -562,26 +610,51 @@ func (s *Session) buildTargets() error {
 		if s.stageMode() {
 			net, blob = s.stages[i].seg, s.stages[i].blob
 		}
-		if err := s.buildGroupTarget(i, g, net, blob, &nextStick, batchName); err != nil {
-			return err
+		if reps[i] == 1 {
+			t, err := s.buildGroupTarget(i, g, net, blob, &nextStick, batchName)
+			if err != nil {
+				return err
+			}
+			s.targets[i] = t
+			continue
 		}
+		// A replicated stage is a health-aware Pool of identical
+		// copies of the group, each built exactly like a lone group
+		// (same recovery wiring, same accounting index — every
+		// replica's retries and drops land on the stage's collector).
+		kids := make([]core.Target, reps[i])
+		for r := range kids {
+			t, err := s.buildGroupTarget(i, g, net, blob, &nextStick, batchName)
+			if err != nil {
+				return err
+			}
+			kids[r] = t
+		}
+		pool, err := core.NewPool(kids, core.PoolOptions{QueueDepth: s.cfg.QueueDepth})
+		if err != nil {
+			return fmt.Errorf("pipeline: stage %d replica pool: %w", i, err)
+		}
+		s.targets[i] = pool
 	}
 	return nil
 }
 
-// buildGroupTarget constructs group i's target over the given network
-// (and, for VPU groups, compiled blob), preserving the exact
-// construction and seeding order of the hand-wired constructors.
-func (s *Session) buildGroupTarget(i int, g Group, net *nn.Graph, blob []byte, nextStick *int, batchName func(GroupKind) string) error {
+// buildGroupTarget constructs and returns one target for group i over
+// the given network (and, for VPU groups, compiled blob), preserving
+// the exact construction and seeding order of the hand-wired
+// constructors. A replicated stage calls it once per replica with the
+// same group index, so all copies share the stage's collectors and
+// recovery accounting.
+func (s *Session) buildGroupTarget(i int, g Group, net *nn.Graph, blob []byte, nextStick *int, batchName func(GroupKind) string) (core.Target, error) {
 	switch g.Kind {
 	case GroupCPU:
 		eng, err := devsim.NewCPU(devsim.DefaultCPUConfig(), devsim.WorkloadOf(net), rng.New(s.cfg.Seed))
 		if err != nil {
-			return fmt.Errorf("pipeline: cpu engine: %w", err)
+			return nil, fmt.Errorf("pipeline: cpu engine: %w", err)
 		}
 		t, err := core.NewCPUTarget(eng, net, g.Batch, s.cfg.Functional)
 		if err != nil {
-			return fmt.Errorf("pipeline: cpu target: %w", err)
+			return nil, fmt.Errorf("pipeline: cpu target: %w", err)
 		}
 		if s.cfg.Timeline != nil {
 			t.SetTimeline(s.cfg.Timeline)
@@ -589,15 +662,15 @@ func (s *Session) buildGroupTarget(i int, g Group, net *nn.Graph, blob []byte, n
 		s.applyAssembly(t)
 		s.wireBatchRetry(t, i)
 		s.registry.Add(batchName(GroupCPU), eng)
-		s.targets[i] = t
+		return t, nil
 	case GroupGPU:
 		eng, err := devsim.NewGPU(devsim.DefaultGPUConfig(), devsim.WorkloadOf(net), rng.New(s.cfg.Seed))
 		if err != nil {
-			return fmt.Errorf("pipeline: gpu engine: %w", err)
+			return nil, fmt.Errorf("pipeline: gpu engine: %w", err)
 		}
 		t, err := core.NewGPUTarget(eng, net, g.Batch, s.cfg.Functional)
 		if err != nil {
-			return fmt.Errorf("pipeline: gpu target: %w", err)
+			return nil, fmt.Errorf("pipeline: gpu target: %w", err)
 		}
 		if s.cfg.Timeline != nil {
 			t.SetTimeline(s.cfg.Timeline)
@@ -605,7 +678,7 @@ func (s *Session) buildGroupTarget(i int, g Group, net *nn.Graph, blob []byte, n
 		s.applyAssembly(t)
 		s.wireBatchRetry(t, i)
 		s.registry.Add(batchName(GroupGPU), eng)
-		s.targets[i] = t
+		return t, nil
 	case GroupVPU:
 		sticks := s.devices[*nextStick : *nextStick+g.Devices]
 		*nextStick += g.Devices
@@ -625,14 +698,14 @@ func (s *Session) buildGroupTarget(i int, g Group, net *nn.Graph, blob []byte, n
 		}
 		t, err := core.NewVPUTarget(sticks, blob, opts)
 		if err != nil {
-			return fmt.Errorf("pipeline: vpu target: %w", err)
+			return nil, fmt.Errorf("pipeline: vpu target: %w", err)
 		}
-		s.targets[i] = t
-		s.perVPU[i] = sticks
+		s.perVPU[i] = append(s.perVPU[i], sticks...)
+		return t, nil
 	case GroupCustom:
-		s.targets[i] = g.Target
+		return g.Target, nil
 	}
-	return nil
+	return nil, fmt.Errorf("pipeline: unknown group kind %v", g.Kind)
 }
 
 // groupRecovery wires the session's recovery policy for one VPU
@@ -669,6 +742,15 @@ func (s *Session) groupRecovery(group int) core.RecoveryConfig {
 		if s.merged != nil {
 			s.merged.NoteDrop(core.DropFailed)
 			s.perGroup[group].NoteDrop(core.DropFailed)
+		}
+		// A tenant's fault-dropped item never completes, so its
+		// in-flight quota credit must be released here or the tenant's
+		// MaxInFlight budget leaks away one failure at a time.
+		if s.tenantMux != nil {
+			if i, ok := s.tenantIdx[item.Tenant]; ok {
+				s.perTenant[i].NoteDrop(core.DropFailed)
+			}
+			s.tenantMux.Done(item.Tenant)
 		}
 		if userDrop != nil {
 			userDrop(item, at)
@@ -824,6 +906,23 @@ func (s *Session) Run() (*Report, error) {
 	// hooks installed at build time reach them through the session.
 	s.merged, s.perGroup = merged, perGroup
 
+	if s.cfg.Tenants.Enabled() {
+		// One collector per tenant, measured against the tenant's own
+		// SLO (falling back to the session target), so per-tenant
+		// goodput reflects each tenant's own contract.
+		ids := s.cfg.Tenants.IDs()
+		s.perTenant = make([]*core.Collector, len(ids))
+		s.perTenantSinks = make([]func(core.Result), len(ids))
+		s.tenantIdx = make(map[string]int, len(ids))
+		for i, id := range ids {
+			c := core.NewCollector(false)
+			c.SetSLO(s.cfg.Tenants.SLOFor(id, s.cfg.SLO))
+			s.perTenant[i] = c
+			s.perTenantSinks[i] = c.Sink()
+			s.tenantIdx[id] = i
+		}
+	}
+
 	if !s.cfg.Faults.Empty() {
 		var observe func(fault.Injection)
 		if s.cfg.Timeline != nil {
@@ -856,6 +955,23 @@ func (s *Session) Run() (*Report, error) {
 		src = aq
 	}
 
+	if s.cfg.Tenants.Enabled() {
+		topts := s.cfg.Tenants.MuxOptions(s.cfg.SLO)
+		topts.Seed = rng.New(s.cfg.Seed).Derive("tenants")
+		topts.OnDrop = func(item core.Item, reason core.DropReason, _ time.Duration) {
+			merged.NoteDrop(reason)
+			if i, ok := s.tenantIdx[item.Tenant]; ok {
+				s.perTenant[i].NoteDrop(reason)
+			}
+		}
+		mux, err := core.NewTenantMux(s.env, src, topts)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: tenants: %w", err)
+		}
+		s.tenantMux = mux
+		src = mux
+	}
+
 	// Health-aware admission: the ingress bound tracks healthy device
 	// capacity — through the pool's aggregate observer for device
 	// groups, or straight off a lone health-aware target.
@@ -865,6 +981,22 @@ func (s *Session) Run() (*Report, error) {
 		}
 		if ha, ok := t.(core.HealthAware); ok {
 			ha.SetHealthObserver(s.admission.ObserveHealth)
+		}
+	}
+
+	// finalSink receives every deduplicated final result; under
+	// tenancy it additionally routes the result into the owning
+	// tenant's collector and releases the tenant's in-flight quota
+	// credit (core.TenantMux.Done).
+	finalSink := merged.Sink()
+	if s.tenantMux != nil {
+		base := finalSink
+		finalSink = func(r core.Result) {
+			base(r)
+			if i, ok := s.tenantIdx[r.Tenant]; ok {
+				s.perTenantSinks[i](r)
+			}
+			s.tenantMux.Done(r.Tenant)
 		}
 	}
 
@@ -904,11 +1036,11 @@ func (s *Session) Run() (*Report, error) {
 		}
 		s.pipe = pipe
 		subscribeAdmission(pipe)
-		job = pipe.Start(s.env, src, merged.Sink())
+		job = pipe.Start(s.env, src, finalSink)
 	} else if len(s.targets) == 1 {
 		// Single group: start directly, bit-identical to hand-wiring.
 		subscribeAdmission(s.targets[0])
-		sink := merged.Sink()
+		sink := finalSink
 		groupSink := perGroup[0].Sink()
 		job = s.targets[0].Start(s.env, src, func(r core.Result) {
 			groupSink(r)
@@ -945,7 +1077,7 @@ func (s *Session) Run() (*Report, error) {
 		}
 		s.pool = pool
 		subscribeAdmission(pool)
-		job = pool.Start(s.env, src, merged.Sink())
+		job = pool.Start(s.env, src, finalSink)
 	}
 
 	s.env.Run()

@@ -67,6 +67,34 @@ type TargetReport struct {
 	Collector *core.Collector
 }
 
+// TenantReport is the per-tenant slice of a multi-tenant session
+// report, in tenant registration order.
+type TenantReport struct {
+	// ID names the tenant.
+	ID string
+	// SLO is the latency target the tenant's goodput is measured
+	// against (its own, or the session target when unset).
+	SLO time.Duration
+	// Arrived counts every item the tenant's arrival process offered;
+	// Completed the ones a device finished.
+	Arrived, Completed int
+	// Shed, Expired and QuotaRejected count the tenant's own drops:
+	// shed by its queue policy (or the shared FIFO queue), expired
+	// past its SLO while queued, and rejected by its quota contract.
+	Shed, Expired, QuotaRejected int
+	// Throughput is the tenant's completion rate over the run window.
+	Throughput float64
+	// Latency is the tenant's per-item serving-latency distribution.
+	Latency core.LatencySummary
+	// Goodput is the fraction of the tenant's arrivals that completed
+	// within the tenant's SLO — its drops count against it.
+	Goodput float64
+	// Stats exposes the raw scheduler counters for the tenant.
+	Stats core.TenantStats
+	// Collector exposes the raw per-tenant aggregates.
+	Collector *core.Collector
+}
+
 // Report is the unified outcome of a session run.
 type Report struct {
 	// Targets holds one entry per device group, in group order.
@@ -99,6 +127,11 @@ type Report struct {
 	// Admission carries the ingress counters when the session ran
 	// with WithAdmission (zero value otherwise).
 	Admission core.AdmissionStats
+	// Tenants holds one entry per declared tenant, in registration
+	// order (nil for single-tenant sessions); TenantScheduler names
+	// the admission-edge policy that multiplexed them.
+	Tenants         []TenantReport
+	TenantScheduler string
 	// FaultsInjected counts the faults the session's plan drove into
 	// the devices; FaultLog lists them (nil without WithFaults).
 	FaultsInjected int
@@ -161,6 +194,31 @@ func (s *Session) buildReport(job *core.Job, pool *core.Pool, merged *core.Colle
 	}
 	if s.admission != nil {
 		rep.Admission = s.admission.Stats()
+	}
+	if s.tenantMux != nil {
+		rep.TenantScheduler = s.cfg.Tenants.Scheduler.String()
+		span := job.Span().Seconds()
+		for i, id := range s.tenantMux.TenantIDs() {
+			st := s.tenantMux.Stats(id)
+			c := s.perTenant[i]
+			tr := TenantReport{
+				ID:            id,
+				SLO:           s.cfg.Tenants.SLOFor(id, s.cfg.SLO),
+				Arrived:       st.Arrived,
+				Completed:     c.N,
+				Shed:          c.Shed,
+				Expired:       c.Expired,
+				QuotaRejected: c.QuotaRejected,
+				Latency:       c.Latency(),
+				Goodput:       c.Goodput(),
+				Stats:         st,
+				Collector:     c,
+			}
+			if span > 0 {
+				tr.Throughput = float64(c.N) / span
+			}
+			rep.Tenants = append(rep.Tenants, tr)
+		}
 	}
 	rep.FaultsInjected = s.faultLog.Count()
 	rep.FaultLog = s.faultLog
@@ -307,6 +365,17 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "slo %v: goodput %.1f%% of %d arrivals (shed %d, expired %d, failed %d)\n",
 			r.SLO, r.Goodput*100, r.Collector.Arrivals(), r.Collector.Shed, r.Collector.Expired,
 			r.Collector.FaultDrops)
+	}
+	if len(r.Tenants) > 0 {
+		ms := func(d time.Duration) float64 { return d.Seconds() * 1e3 }
+		fmt.Fprintf(&b, "\n%-12s %8s %8s %8s %10s %10s %8s %6s %8s %6s\n",
+			"tenant", "arrived", "served", "img/s", "p50(ms)", "p99(ms)", "goodput", "shed", "expired", "quota")
+		for _, t := range r.Tenants {
+			fmt.Fprintf(&b, "%-12s %8d %8d %8.1f %10.1f %10.1f %7.1f%% %6d %8d %6d\n",
+				t.ID, t.Arrived, t.Completed, t.Throughput, ms(t.Latency.P50), ms(t.Latency.P99),
+				t.Goodput*100, t.Shed, t.Expired, t.QuotaRejected)
+		}
+		fmt.Fprintf(&b, "tenancy: %d tenant(s) under %s scheduling\n", len(r.Tenants), r.TenantScheduler)
 	}
 	if r.FaultsInjected > 0 || r.Outages > 0 || r.Retries > 0 || r.FaultDrops > 0 {
 		fmt.Fprintf(&b, "faults: %d injected; %d outage(s), %d recovered (MTTR %v), downtime %v; %d retried, %d dropped; uptime %.2f%%\n",

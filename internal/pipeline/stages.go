@@ -26,6 +26,22 @@ type Stage struct {
 	// stage the window is floored at the stage's batch size — a full
 	// batch must fit in flight or it could never assemble.
 	Queue int
+	// Replicas widens the stage: instead of one device group, the
+	// stage runs as a health-aware Pool of this many identical copies
+	// of Group, dealt work by the pool's adaptive routing. The
+	// pipeline's serial order and boundary windows are unchanged — a
+	// replicated stage is just a wider stage, soaking up a bottleneck
+	// segment without recutting the network. 0 or 1 is a single group;
+	// custom stages cannot be replicated (one caller-built Target
+	// cannot serve as several).
+	Replicas int
+}
+
+// Replicated returns a copy of the stage widened to n replica groups
+// (see Replicas).
+func (st Stage) Replicated(n int) Stage {
+	st.Replicas = n
+	return st
 }
 
 // CPUStage declares a pipeline stage on the Caffe-MKL CPU at the
@@ -207,6 +223,12 @@ func validateStages(cfg *Config) error {
 		}
 		if st.Queue < 0 {
 			return fmt.Errorf("pipeline: stage %d: negative queue depth %d", i, st.Queue)
+		}
+		if st.Replicas < 0 {
+			return fmt.Errorf("pipeline: stage %d: negative replica count %d", i, st.Replicas)
+		}
+		if st.Replicas > 1 && g.Kind == GroupCustom {
+			return fmt.Errorf("pipeline: stage %d: a custom stage carries one caller-built Target and cannot be replicated", i)
 		}
 	}
 	if cfg.Functional {

@@ -79,6 +79,71 @@ func TestStageSessionRuns(t *testing.T) {
 	}
 }
 
+// TestStageReplicas: a stage widened into a replica pool still
+// delivers every image exactly once, registers the extra hardware,
+// runs deterministically, and outpaces its unreplicated twin when the
+// widened stage is the bottleneck.
+func TestStageReplicas(t *testing.T) {
+	const images = 48
+	cuts := googleNetCuts(t)
+	cut := cuts[len(cuts)/2]
+	run := func(head Stage) *Report {
+		t.Helper()
+		sess, err := New(
+			WithDataset(smallDataset(images)),
+			WithStages(head, GPUStage(16)),
+			WithCut(cut),
+			WithRetain(true),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sess.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	single := run(VPUStage(1))
+	wide := run(VPUStage(1).Replicated(3))
+	seen := map[int]int{}
+	for _, r := range wide.Results {
+		seen[r.Index]++
+	}
+	if len(seen) != images {
+		t.Errorf("%d distinct results, want %d", len(seen), images)
+	}
+	for idx, n := range seen {
+		if n != 1 {
+			t.Errorf("item %d delivered %d times", idx, n)
+		}
+	}
+	for _, tr := range wide.Targets {
+		if tr.Images != images {
+			t.Errorf("stage %s processed %d images, want %d", tr.Name, tr.Images, images)
+		}
+	}
+	// Three replica sticks beat one when the VPU head is the
+	// bottleneck.
+	if wide.Throughput <= single.Throughput {
+		t.Errorf("3-replica head throughput %.2f not above single head %.2f",
+			wide.Throughput, single.Throughput)
+	}
+	// Determinism: the replicated session repeats bit for bit.
+	again := run(VPUStage(1).Replicated(3))
+	if wide.String() != again.String() || wide.SimTime != again.SimTime {
+		t.Error("replicated stage session is not deterministic across reruns")
+	}
+	// A custom stage cannot be replicated.
+	if _, err := New(
+		WithDataset(smallDataset(images)),
+		WithStages(CustomStage(&stubStageTarget{}).Replicated(2), GPUStage(16)),
+		WithCut(0),
+	); err == nil {
+		t.Error("replicated custom stage accepted")
+	}
+}
+
 // TestStageDegenerateCollapse locks the degenerate-cut contract: a
 // two-stage session cut at 0 or at the layer count collapses the
 // empty stage before any device is built and must be bit-identical —

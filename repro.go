@@ -65,6 +65,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/tenant"
 	"repro/internal/tensor"
 	"repro/internal/trace"
 	"repro/internal/usb"
@@ -280,7 +281,58 @@ const (
 	// DropFailed marks an item lost to device failure after its
 	// redelivery budget ran out.
 	DropFailed = core.DropFailed
+	// DropQuota marks an arrival rejected by its tenant's quota (max
+	// in-flight or admitted-rate) before reaching any queue.
+	DropQuota = core.DropQuota
 )
+
+// Multi-tenant serving (internal/tenant + core.TenantMux).
+type (
+	// TenantConfig is the multi-tenant session description: the
+	// admission-edge scheduler plus the tenant registry (traffic
+	// classes with weights, priorities, SLOs, quotas, shed policies).
+	TenantConfig = tenant.Config
+	// TenantClass declares one traffic class of a multi-tenant
+	// session.
+	TenantClass = tenant.Tenant
+	// TenantScheduler selects the admission-edge scheduling policy
+	// (TenantFIFO, TenantWeightedFair, TenantStrictPriority).
+	TenantScheduler = tenant.Scheduler
+	// TenantMux is the core multi-tenant scheduler for hand-wired
+	// experiments: per-tenant arrival pumps over a shared source,
+	// deficit-round-robin or priority dispatch, quota gates.
+	TenantMux = core.TenantMux
+	// TenantLane configures one tenant's lane of a hand-wired
+	// TenantMux.
+	TenantLane = core.TenantLane
+	// TenantMuxOptions configures a hand-wired TenantMux.
+	TenantMuxOptions = core.TenantMuxOptions
+	// TenantStats counts one tenant's arrivals, admissions, drops and
+	// completions at the scheduling edge.
+	TenantStats = core.TenantStats
+	// TenantReport is the per-tenant slice of a multi-tenant session
+	// Report.
+	TenantReport = pipeline.TenantReport
+)
+
+// Tenant admission-edge schedulers.
+const (
+	// TenantFIFO multiplexes every tenant into one shared queue in
+	// arrival order — no isolation; the control configuration.
+	TenantFIFO = tenant.FIFO
+	// TenantWeightedFair drains per-tenant queues by deficit-round-
+	// robin over the tenant weights.
+	TenantWeightedFair = tenant.WeightedFair
+	// TenantStrictPriority serves lower-priority-class tenants first,
+	// deficit-round-robin within a class.
+	TenantStrictPriority = tenant.Priority
+)
+
+// NewTenantMux wraps a source with the multi-tenant scheduler for
+// hand-wired experiments; sessions use WithTenants instead.
+func NewTenantMux(env *Env, inner Source, opts TenantMuxOptions) (*TenantMux, error) {
+	return core.NewTenantMux(env, inner, opts)
+}
 
 // Fault injection and self-healing (internal/fault + core recovery).
 type (
@@ -616,6 +668,18 @@ func WithAdaptiveBatching(maxWait time.Duration) SessionOption {
 // Session.Stream from a producer process on Session.Env.
 func WithStream(capacity int) SessionOption { return pipeline.WithStream(capacity) }
 
+// WithTenants runs the session multi-tenant: each declared tenant
+// drives its own open-loop arrival process, the configured scheduler
+// (TenantFIFO, TenantWeightedFair, TenantStrictPriority) multiplexes
+// the per-tenant queues at the admission edge under each tenant's
+// quotas and shed policy, and the report gains a per-tenant section
+// (Report.Tenants) — throughput, latency tails, goodput against the
+// tenant's own SLO, sheds, expiries, quota rejections. Mutually
+// exclusive with WithArrivals, WithAdmission and WithStream, which it
+// subsumes. An empty TenantConfig leaves the session single-tenant,
+// bit-identical to never having called this.
+func WithTenants(tc TenantConfig) SessionOption { return pipeline.WithTenants(tc) }
+
 // Session options — reliability. What goes wrong and what the session
 // does about it: fault injection, self-healing, hedged requests.
 
@@ -806,6 +870,11 @@ type (
 	// whole-inference baselines at equal fleet, plus a boundary-window
 	// sweep at the best cut.
 	SplitPoint = bench.SplitPoint
+	// TenantPoint is one (scheduler, aggregate load, tenant)
+	// measurement of the multi-tenant experiment
+	// (Benchmarks.TenantPoints): per-tenant goodput, tails and drops
+	// under a flash-crowd mix, FIFO vs weighted-fair vs priority.
+	TenantPoint = bench.TenantPoint
 )
 
 // DefaultBenchConfig returns the paper-scale experiment configuration.
