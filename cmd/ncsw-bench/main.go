@@ -24,6 +24,9 @@
 //	ncsw-bench -split -json            # machine-readable split points (BENCH_PR8.json)
 //	ncsw-bench -tenants                # multi-tenant isolation: per-tenant goodput vs admission scheduler
 //	ncsw-bench -tenants -json          # machine-readable tenant points (BENCH_PR9.json)
+//	ncsw-bench -scenario scenarios/    # replay every declarative scenario in a directory
+//	ncsw-bench -scenario f.json        # replay one scenario file
+//	ncsw-bench -scenario scenarios/ -json  # machine-readable scenario points (BENCH_PR10.json)
 //	ncsw-bench -cpuprofile cpu.pprof   # write a CPU profile of the run (any mode)
 //	ncsw-bench -memprofile mem.pprof   # write an allocation profile at exit (any mode)
 package main
@@ -69,6 +72,8 @@ func main() {
 		"run the split-inference experiment (pipeline throughput vs partition point and boundary window, against whole-inference baselines)")
 	tenants := flag.Bool("tenants", false,
 		"run the multi-tenant experiment (per-tenant goodput under a flash-crowd mix: FIFO vs weighted-fair vs priority admission)")
+	scenarioPath := flag.String("scenario", "",
+		"replay the declarative scenario(s) in this file or directory (each pins its own scale; -json for machine-readable points)")
 	jsonOut := flag.Bool("json", false,
 		"with -serve, -slo, -faults, -hedge, -kernel, -split or -tenants: emit the experiment's points as JSON (the BENCH_PR*.json format)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
@@ -98,6 +103,14 @@ func main() {
 				log.Fatal(err)
 			}
 		}()
+	}
+
+	if *scenarioPath != "" {
+		if *hetero || *serve || *slo || *faults || *hedge || *kernel || *split || *tenants || *experiment != "all" {
+			log.Fatal("-scenario replays scenario files on their own terms (drop the other mode flags)")
+		}
+		runScenarios(*scenarioPath, *jsonOut)
+		return
 	}
 
 	if *hetero {
@@ -217,6 +230,46 @@ func main() {
 // snapshot used this experiment; scripts/bench.sh now snapshots the
 // slo experiment). The human-readable table goes through the regular
 // experiment dispatch ("serving").
+// runScenarios replays the declarative scenario(s) at path — one
+// file, or every *.json in a directory — printing each report (or,
+// with -json, the points in the BENCH_PR*.json format). Scenario
+// files pin their own scale and seeds, so the run is bit-reproducible
+// regardless of the harness flags.
+func runScenarios(path string, jsonOut bool) {
+	scs, err := repro.LoadScenarios(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if jsonOut {
+		points := make([]repro.ScenarioPoint, 0, len(scs))
+		for _, sc := range scs {
+			res, err := sc.Run()
+			if err != nil {
+				log.Fatal(err)
+			}
+			points = append(points, res.Point())
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Experiment string                `json:"experiment"`
+			Points     []repro.ScenarioPoint `json:"points"`
+		}{Experiment: "scenarios", Points: points}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	for _, sc := range scs {
+		start := time.Now()
+		res, err := sc.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.String())
+		fmt.Fprintf(os.Stderr, "[scenario %s done in %v]\n", res.Scenario.Name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
 func emitServingJSON(h *repro.Benchmarks) {
 	points, err := h.ServingPoints()
 	if err != nil {

@@ -202,6 +202,7 @@ func (h *Harness) All() ([]*Table, error) {
 		{"kernel", h.Kernel},
 		{"split", h.Split},
 		{"tenants", h.Tenants},
+		{"scenarios", h.Scenarios},
 	}
 	var out []*Table
 	for _, g := range gens {
@@ -251,6 +252,8 @@ func (h *Harness) Experiment(id string) (*Table, error) {
 		return h.Split()
 	case "tenants":
 		return h.Tenants()
+	case "scenarios":
+		return h.Scenarios()
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", id, ExperimentIDs())
 	}
@@ -272,5 +275,5 @@ func precisionImages(cfg Config) int {
 // ExperimentIDs lists the available artefacts: the paper's figures in
 // order, the headline summary, and the beyond-the-paper studies.
 func ExperimentIDs() []string {
-	return []string{"fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "summary", "ablation", "precision", "gemm", "serving", "slo", "resilience", "hedge", "kernel", "split", "tenants"}
+	return []string{"fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "summary", "ablation", "precision", "gemm", "serving", "slo", "resilience", "hedge", "kernel", "split", "tenants", "scenarios"}
 }

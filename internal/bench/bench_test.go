@@ -102,7 +102,7 @@ func TestExperimentDispatch(t *testing.T) {
 		t.Error("unknown experiment accepted")
 	}
 	ids := ExperimentIDs()
-	if len(ids) != 17 {
+	if len(ids) != 18 {
 		t.Errorf("ExperimentIDs = %v", ids)
 	}
 }

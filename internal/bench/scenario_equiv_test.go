@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// TestScenarioReproducesSLOBench pins the scenario engine to the
+// hand-wired harness: a scenario expressing the slo experiment's
+// cpu-b8 adaptive/bounded cell at 110% load must reproduce the
+// bench's numbers bit-for-bit — same seeds, same Poisson arrival
+// sequence, same admission edge, same adaptive assembler. The
+// committed scenarios/slo-bounded.json is then held to the same
+// standard, so the corpus file cannot silently drift from the bench
+// it claims to mirror.
+func TestScenarioReproducesSLOBench(t *testing.T) {
+	h, err := NewHarness(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := servingConfig{name: "cpu-b8", dev: "cpu", batch: 8}
+	images := h.cfg.ImagesPerSubset
+	capacity, ready, err := h.servingCapacity(cfg, images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slo := h.sloTarget(cfg, capacity)
+	const frac = 1.1
+	rate := capacity * frac
+	pt, err := h.sloPoint(cfg, sloVariant{batching: "adaptive", admission: "bounded"},
+		images, frac, rate, ready, slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build the scenario from the same derived values, nanosecond
+	// durations and full-precision rate, so nothing is lost in the
+	// JSON round trip.
+	runName := fmt.Sprintf("load%.2f", frac)
+	maxWait := time.Duration(sloMaxWaitFraction * float64(slo))
+	delay := ""
+	if ready > 0 {
+		delay = fmt.Sprintf(`, "delay": "%dns"`, int64(ready))
+	}
+	src := fmt.Sprintf(`{
+		"name": "slo-bounded-equiv",
+		"seed": %d,
+		"images": %d,
+		"dataset": {"images": %d, "subsets": 1, "seed": %d},
+		"fleet": {"groups": [{"kind": "cpu", "batch": %d, "seed_label": "serving/%s/run/%s"}]},
+		"traffic": {
+			"arrivals": {"process": "poisson", "rate": %s%s},
+			"arrival_label": "slo/%s/%s"
+		},
+		"slo": "%dns",
+		"admission": {"depth": %d, "policy": "shed-newest"},
+		"batching": {"max_wait": "%dns", "adaptive": true}
+	}`, h.cfg.Seed, images, images, h.cfg.Seed+2012,
+		cfg.batch, cfg.name, runName,
+		strconv.FormatFloat(rate, 'g', -1, 64), delay, cfg.name, runName,
+		int64(slo), sloAdmissionDepth, int64(maxWait))
+
+	sc, err := scenario.Parse([]byte(src), "slo-bounded-equiv.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep := res.Report
+	msOf := func(d time.Duration) float64 { return round2(d.Seconds() * 1e3) }
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"achieved img/s", round2(rep.Throughput), pt.AchievedIPS},
+		{"goodput %", round2(rep.Goodput * 100), pt.GoodputPct},
+		{"shed %", round2(rep.ShedRate * 100), pt.ShedPct},
+		{"p50 ms", msOf(rep.Latency.P50), pt.P50MS},
+		{"p95 ms", msOf(rep.Latency.P95), pt.P95MS},
+		{"p99 ms", msOf(rep.Latency.P99), pt.P99MS},
+		{"max ms", msOf(rep.Latency.Max), pt.MaxMS},
+		{"queue mean ms", msOf(rep.Latency.QueueMean), pt.QueueMeanMS},
+		{"service mean ms", msOf(rep.Latency.ServiceMean), pt.ServiceMeanMS},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s: scenario %v != bench %v", c.name, c.got, c.want)
+		}
+	}
+
+	// The committed corpus file must be this exact scenario: same
+	// parameters, same report, byte for byte.
+	dir, err := scenario.DefaultCorpusDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed, err := scenario.LoadFile(filepath.Join(dir, "slo-bounded.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, err := committed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cres.Report.String(), res.Report.String(); got != want {
+		t.Errorf("scenarios/slo-bounded.json drifted from the bench-derived parameters:\n--- committed ---\n%s\n--- derived ---\n%s",
+			got, want)
+	}
+}

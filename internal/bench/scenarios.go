@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/scenario"
+)
+
+// The scenarios experiment replays the committed scenario corpus
+// (scenarios/ at the repository root) through the declarative
+// scenario engine. Unlike the other experiments the workload is not
+// scaled by the harness config: each scenario file pins its own
+// image count and traffic so its golden report stays bit-stable.
+
+// ScenarioPoints runs every scenario in the committed corpus and
+// returns one machine-readable point per scenario, in file order.
+func (h *Harness) ScenarioPoints() ([]scenario.Point, error) {
+	dir, err := scenario.DefaultCorpusDir()
+	if err != nil {
+		return nil, fmt.Errorf("bench: %v", err)
+	}
+	scs, err := scenario.LoadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %v", err)
+	}
+	points := make([]scenario.Point, 0, len(scs))
+	for _, sc := range scs {
+		res, err := sc.Run()
+		if err != nil {
+			return nil, fmt.Errorf("bench: %v", err)
+		}
+		points = append(points, res.Point())
+	}
+	return points, nil
+}
+
+// Scenarios renders the scenario corpus as a table: one row per
+// committed scenario with its throughput, goodput, shed rate, tails
+// and event counts.
+func (h *Harness) Scenarios() (*Table, error) {
+	points, err := h.ScenarioPoints()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "scenarios",
+		Title: "Scenario corpus — declarative regression suite (scenarios/*.json)",
+		Columns: []string{"scenario", "images", "img/s", "goodput",
+			"shed", "p50(ms)", "p95(ms)", "p99(ms)", "faults", "hedged", "tenants"},
+		Notes: []string{
+			"each scenario pins its own scale; goldens live in scenarios/golden/",
+			"regenerate goldens with: go test ./internal/scenario/ -run TestCorpus -update",
+		},
+	}
+	for _, p := range points {
+		t.AddRow(
+			p.Name,
+			fmt.Sprintf("%d", p.Images),
+			fmt.Sprintf("%.1f", p.ThroughputIPS),
+			fmt.Sprintf("%.1f%%", p.GoodputPct),
+			fmt.Sprintf("%.1f%%", p.ShedPct),
+			fmt.Sprintf("%.1f", p.P50MS),
+			fmt.Sprintf("%.1f", p.P95MS),
+			fmt.Sprintf("%.1f", p.P99MS),
+			fmt.Sprintf("%d", p.FaultsInjected),
+			fmt.Sprintf("%d", p.Hedged),
+			fmt.Sprintf("%d", p.Tenants),
+		)
+	}
+	return t, nil
+}

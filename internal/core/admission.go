@@ -330,6 +330,39 @@ func (a *AdmissionQueue) ObserveHealth(healthy, total int, _ time.Duration) {
 // (== Depth until ObserveHealth reports degraded capacity).
 func (a *AdmissionQueue) EffectiveDepth() int { return a.eff }
 
+// SetDepth re-bounds the ingress from now on — the operator's
+// mid-run admission knob (scenario hot-reload). The new depth becomes
+// both the configured bound (future health scaling works from it) and
+// the effective bound; a MinDepth above the new depth is clamped to
+// it. Shrinking evicts nothing: queued items keep their place and
+// drain normally while new arrivals meet the smaller bound, exactly
+// like a health shrink. It returns an error on depth < 1.
+func (a *AdmissionQueue) SetDepth(depth int) error {
+	if depth < 1 {
+		return fmt.Errorf("core: admission queue depth %d (need >= 1)", depth)
+	}
+	a.opts.Depth = depth
+	if a.opts.MinDepth > depth {
+		a.opts.MinDepth = depth
+	}
+	a.eff = depth
+	a.q.SetCapacity(depth)
+	return nil
+}
+
+// SetDeadline replaces the per-item queueing deadline from now on (0
+// disables expiry). Expiry is checked lazily at dispatch, so only
+// dispatches after the change see the new deadline — items already
+// queued are re-judged against it, matching an operator retuning the
+// SLO mid-run. It returns an error on a negative deadline.
+func (a *AdmissionQueue) SetDeadline(d time.Duration) error {
+	if d < 0 {
+		return fmt.Errorf("core: negative admission deadline %v", d)
+	}
+	a.opts.Deadline = d
+	return nil
+}
+
 // minDepth returns the configured floor (default 1).
 func (a *AdmissionQueue) minDepth() int {
 	if a.opts.MinDepth > 0 {

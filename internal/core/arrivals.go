@@ -152,6 +152,98 @@ func (a traceArrivals) start(_ *rng.Source) func() (time.Duration, bool) {
 	}
 }
 
+// Phase is one segment of a PhasedArrivals schedule: an arrival
+// process active for a window of the given length. A nil Arrivals is a
+// quiet phase — the window passes with no arrivals (the overnight
+// trough of a diurnal curve).
+type Phase struct {
+	// Arrivals is the process active during this phase (nil = silence).
+	Arrivals Arrivals
+	// Duration is the phase window length (> 0).
+	Duration time.Duration
+}
+
+// PhasedArrivals chains arrival processes through consecutive time
+// windows — the workload-shape primitive behind diurnal load curves
+// and scheduled traffic ramps. Each phase restarts its process from
+// the phase's window start; an instant the process places past its
+// window is discarded and the next phase begins. With cycle set the
+// schedule repeats from the first phase when the last window closes
+// (a full cycle yielding no arrival ends the process, so a schedule
+// that can never emit cannot spin forever). It panics on an empty
+// schedule, a non-positive phase duration, or an all-silent schedule.
+func PhasedArrivals(phases []Phase, cycle bool) Arrivals {
+	if len(phases) == 0 {
+		panic("core: phased arrivals need at least one phase")
+	}
+	active := 0
+	for i, ph := range phases {
+		if ph.Duration <= 0 {
+			panic(fmt.Sprintf("core: phase %d duration %v (need > 0)", i, ph.Duration))
+		}
+		if ph.Arrivals != nil {
+			active++
+		}
+	}
+	if active == 0 {
+		panic("core: phased arrivals with every phase silent")
+	}
+	return phasedArrivals{phases: append([]Phase(nil), phases...), cycle: cycle}
+}
+
+type phasedArrivals struct {
+	phases []Phase
+	cycle  bool
+}
+
+func (a phasedArrivals) String() string {
+	if a.cycle {
+		return fmt.Sprintf("phased(%d phases, cycling)", len(a.phases))
+	}
+	return fmt.Sprintf("phased(%d phases)", len(a.phases))
+}
+
+func (a phasedArrivals) start(r *rng.Source) func() (time.Duration, bool) {
+	idx := -1
+	var base time.Duration // window start of the current phase
+	var gen func() (time.Duration, bool)
+	dry := 0 // consecutive phases yielding nothing
+	return func() (time.Duration, bool) {
+		for {
+			if gen != nil {
+				if t, ok := gen(); ok && t <= a.phases[idx].Duration {
+					dry = 0
+					return base + t, true
+				}
+				// Phase over: the process ended, or placed its next
+				// instant past the window. Either way the window's full
+				// length elapses before the next phase starts.
+				base += a.phases[idx].Duration
+				gen = nil
+				dry++
+				if dry > len(a.phases) {
+					// A full cycle passed with no arrival: the schedule
+					// is dry (every phase silent or overshooting), so
+					// end the process instead of spinning.
+					return 0, false
+				}
+			}
+			idx++
+			if idx >= len(a.phases) {
+				if !a.cycle {
+					return 0, false
+				}
+				idx = 0
+			}
+			if a.phases[idx].Arrivals == nil {
+				base += a.phases[idx].Duration
+				continue
+			}
+			gen = a.phases[idx].Arrivals.start(r)
+		}
+	}
+}
+
 // DelayedArrivals shifts every instant of arr by delay — e.g. to
 // start offered load only once a device group's one-time setup
 // (firmware boot, graph allocation) is behind it, so the measured

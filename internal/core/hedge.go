@@ -418,3 +418,9 @@ func (h *hedger) copyLost(index, child int) bool {
 
 // Launched returns how many duplicates the hedger issued.
 func (h *hedger) Launched() int { return h.launched }
+
+// setBudget replaces the hedge-volume budget from now on (0 =
+// unlimited). The budget is consulted when a trigger fires, so only
+// fires after the change see the new cap; armed timers, the launch
+// counter and the quantile estimate are untouched.
+func (h *hedger) setBudget(b float64) { h.cfg.Budget = b }

@@ -237,6 +237,18 @@ func (pl *Pool) HedgeItemLost(index int) bool {
 	return pl.hedge.copyLost(index, -1)
 }
 
+// SetHedgeBudget replaces the pool's hedge-volume budget from now on
+// (0 = unlimited) — the operator's mid-run hedging knob (scenario
+// hot-reload). The budget is consulted when a trigger fires, so only
+// fires after the change see the new cap; with hedging disabled (or
+// before Start) the call only updates the configuration.
+func (pl *Pool) SetHedgeBudget(b float64) {
+	pl.opts.Hedge.Budget = b
+	if pl.hedge != nil {
+		pl.hedge.setBudget(b)
+	}
+}
+
 // notifyHealth publishes the aggregate health to the pool's own
 // observers.
 func (pl *Pool) notifyHealth(at time.Duration) {

@@ -220,6 +220,18 @@ func (t *VPUTarget) SetHealthObserver(fn func(healthy, total int, at time.Durati
 	t.healthObs = append(t.healthObs, fn)
 }
 
+// SetHedgeBudget replaces the target's hedge-volume budget from now
+// on (0 = unlimited) — the operator's mid-run hedging knob (scenario
+// hot-reload). The budget is consulted when a trigger fires, so only
+// fires after the change see the new cap; with hedging disabled (or
+// before Start) the call only updates the configuration.
+func (t *VPUTarget) SetHedgeBudget(b float64) {
+	t.opts.Hedge.Budget = b
+	if t.hedge != nil {
+		t.hedge.setBudget(b)
+	}
+}
+
 // noteDown/noteUp track device health transitions and notify the
 // observers (the Pool's failover routing and health-aware admission
 // hang off this).

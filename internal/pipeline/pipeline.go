@@ -85,6 +85,14 @@ type Group struct {
 	// routing; 0 means unset. When any group sets a weight, unset
 	// groups default to 1.
 	Weight float64
+	// SeedLabel, when set, derives this group's batch-engine seed from
+	// the session seed by label — rng.New(Seed).Derive(SeedLabel) —
+	// instead of using the session seed directly. Hand-wired benches
+	// decorrelate per-run jitter streams this way ("serving/cpu-b8/
+	// run/load1.10"); the label lets a declarative session reproduce
+	// such a run bit for bit. CPU/GPU groups only (VPU sticks draw
+	// from the shared testbed seed).
+	SeedLabel string
 	// VPUOptions overrides the multi-VPU pipeline settings for this
 	// group (Functional and Timeline are managed by the session).
 	VPUOptions *core.VPUOptions
@@ -156,6 +164,13 @@ type Config struct {
 	// from a drain-the-dataset throughput measurement into a serving
 	// measurement with meaningful queueing delay. Seeded from Seed.
 	Arrivals core.Arrivals
+	// ArrivalLabel overrides the label the arrival stream's seed is
+	// derived under (default "arrivals"): the stream draws from
+	// rng.New(Seed).Derive(ArrivalLabel). Hand-wired benches pin
+	// arrival sequences to labels like "slo/cpu-b8/load1.10" so every
+	// serving edge faces identical traffic; the override lets a
+	// declarative session replay exactly that traffic.
+	ArrivalLabel string
 	// SLO is the per-item serving deadline (arrival to completion)
 	// goodput is measured against; 0 disables goodput accounting.
 	SLO time.Duration
@@ -282,7 +297,10 @@ type Session struct {
 	perTenant      []*core.Collector
 	perTenantSinks []func(core.Result)
 	tenantIdx      map[string]int
-	ran            bool
+	// reloadErrs collects failures of scheduled hot-reloads
+	// (ScheduleReload); they fire inside env.Run.
+	reloadErrs []error
+	ran        bool
 }
 
 // New builds a session from options.
@@ -646,9 +664,15 @@ func (s *Session) buildTargets() error {
 // same group index, so all copies share the stage's collectors and
 // recovery accounting.
 func (s *Session) buildGroupTarget(i int, g Group, net *nn.Graph, blob []byte, nextStick *int, batchName func(GroupKind) string) (core.Target, error) {
+	engineSeed := func() *rng.Source {
+		if g.SeedLabel != "" {
+			return rng.New(s.cfg.Seed).Derive(g.SeedLabel)
+		}
+		return rng.New(s.cfg.Seed)
+	}
 	switch g.Kind {
 	case GroupCPU:
-		eng, err := devsim.NewCPU(devsim.DefaultCPUConfig(), devsim.WorkloadOf(net), rng.New(s.cfg.Seed))
+		eng, err := devsim.NewCPU(devsim.DefaultCPUConfig(), devsim.WorkloadOf(net), engineSeed())
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: cpu engine: %w", err)
 		}
@@ -664,7 +688,7 @@ func (s *Session) buildGroupTarget(i int, g Group, net *nn.Graph, blob []byte, n
 		s.registry.Add(batchName(GroupCPU), eng)
 		return t, nil
 	case GroupGPU:
-		eng, err := devsim.NewGPU(devsim.DefaultGPUConfig(), devsim.WorkloadOf(net), rng.New(s.cfg.Seed))
+		eng, err := devsim.NewGPU(devsim.DefaultGPUConfig(), devsim.WorkloadOf(net), engineSeed())
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: gpu engine: %w", err)
 		}
@@ -887,8 +911,12 @@ func (s *Session) Run() (*Report, error) {
 		src = dsrc
 	}
 	if s.cfg.Arrivals != nil {
+		label := s.cfg.ArrivalLabel
+		if label == "" {
+			label = "arrivals"
+		}
 		asrc, err := core.NewArrivalSource(s.env, src, s.cfg.Arrivals,
-			rng.New(s.cfg.Seed).Derive("arrivals"))
+			rng.New(s.cfg.Seed).Derive(label))
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: arrivals: %w", err)
 		}

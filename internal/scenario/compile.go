@@ -1,0 +1,325 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/imagenet"
+	"repro/internal/nn"
+	"repro/internal/pipeline"
+	"repro/internal/rng"
+	"repro/internal/tenant"
+)
+
+// Compilation: a validated scenario lowers onto pipeline.Config — the
+// same struct the hand-wired benches and options build — so a
+// scenario session is indistinguishable from a hand-coded one. The
+// one piece of late validation lives here: named cuts are resolved
+// against the workload network's layer list, which only exists once
+// the network kind is known.
+
+func compileKind(k string) pipeline.GroupKind {
+	switch k {
+	case "cpu":
+		return pipeline.GroupCPU
+	case "gpu":
+		return pipeline.GroupGPU
+	}
+	return pipeline.GroupVPU
+}
+
+func compileRouting(r string) core.Routing {
+	switch r {
+	case "static-split":
+		return core.RouteStatic
+	case "round-robin":
+		return core.RouteRoundRobin
+	case "work-stealing":
+		return core.RouteWorkStealing
+	case "latency-ewma":
+		return core.RouteLatency
+	}
+	return core.RouteWeighted
+}
+
+func compilePolicy(p string) core.OverloadPolicy {
+	switch p {
+	case "shed-oldest":
+		return core.ShedOldest
+	case "block":
+		return core.Block
+	}
+	return core.ShedNewest
+}
+
+func compileScheduler(s string) tenant.Scheduler {
+	switch s {
+	case "fair", "weighted-fair":
+		return tenant.WeightedFair
+	case "priority":
+		return tenant.Priority
+	}
+	return tenant.FIFO
+}
+
+func compileFaultKind(k string) fault.Kind {
+	switch k {
+	case "hang":
+		return fault.StickHang
+	case "link-drop":
+		return fault.LinkDrop
+	case "transient":
+		return fault.TransientError
+	case "slowdown":
+		return fault.Slowdown
+	}
+	return fault.BatchOOM
+}
+
+func compileGroup(g GroupSpec) pipeline.Group {
+	return pipeline.Group{
+		Kind:      compileKind(g.Kind),
+		Batch:     g.Batch,
+		Devices:   g.Devices,
+		Weight:    g.Weight,
+		SeedLabel: g.SeedLabel,
+	}
+}
+
+// compileArrivals lowers a validated arrival spec onto the core
+// constructors. Validation mirrored every constructor precondition,
+// so this can never panic.
+func compileArrivals(a *ArrivalSpec) core.Arrivals {
+	var arr core.Arrivals
+	switch a.Process {
+	case "deterministic":
+		arr = core.DeterministicArrivals(a.Rate)
+	case "poisson":
+		arr = core.PoissonArrivals(a.Rate)
+	case "bursty":
+		arr = core.BurstyArrivals(a.Rate, a.On.Std(), a.Off.Std())
+	case "trace":
+		instants := make([]time.Duration, len(a.Instants))
+		for i, ins := range a.Instants {
+			instants[i] = ins.Std()
+		}
+		arr = core.TraceArrivals(instants)
+	case "phased":
+		phases := make([]core.Phase, len(a.Phases))
+		for i := range a.Phases {
+			ph := &a.Phases[i]
+			var inner core.Arrivals
+			if ph.Process != "silence" {
+				inner = compileArrivals(&ph.ArrivalSpec)
+			}
+			phases[i] = core.Phase{Arrivals: inner, Duration: ph.Duration.Std()}
+		}
+		arr = core.PhasedArrivals(phases, a.Cycle)
+	}
+	if a.Delay > 0 {
+		arr = core.DelayedArrivals(arr, a.Delay.Std())
+	}
+	return arr
+}
+
+// structureGraph builds a throwaway copy of the workload network for
+// cut-name resolution. Only the topology matters — layer names and
+// valid cut points are independent of the weights — so the seed is
+// arbitrary and the session still constructs its own network exactly
+// as a hand-coded config would.
+func structureGraph(network string) *nn.Graph {
+	if network == "micro" {
+		return nn.NewMicroGoogLeNet(nn.DefaultMicroConfig(), rng.New(1))
+	}
+	return nn.NewGoogLeNet(rng.New(1))
+}
+
+// resolveCuts maps declared cuts (layer names or indices) onto
+// whole-network cut indices, checking each against the network's
+// legal cut points.
+func resolveCuts(cuts []Cut, network string) ([]int, error) {
+	if len(cuts) == 0 {
+		return nil, nil
+	}
+	g := structureGraph(network)
+	names := g.LayerNames()
+	valid := make(map[int]bool)
+	for _, c := range g.ValidCuts() {
+		valid[c] = true
+	}
+	out := make([]int, len(cuts))
+	for i, c := range cuts {
+		p := fmt.Sprintf("fleet.cuts[%d]", i)
+		idx := c.Index
+		if c.Name != "" {
+			found := -1
+			for j, n := range names {
+				if n == c.Name {
+					found = j
+					break
+				}
+			}
+			if found < 0 {
+				return nil, pathErr(p, "no layer %q in %s (layers: %s ...)", c.Name, g.Name(), strings.Join(names[:4], ", "))
+			}
+			idx = found + 1 // cut after the named layer
+		}
+		if !valid[idx] && idx != 0 && idx != g.Len() {
+			if c.Name != "" {
+				return nil, pathErr(p, "no legal cut after layer %q (cut %d of %s)", c.Name, idx, g.Name())
+			}
+			return nil, pathErr(p, "no legal cut at %d (nn.Graph.ValidCuts enumerates the legal ones)", idx)
+		}
+		out[i] = idx
+	}
+	return out, nil
+}
+
+// Compile validates the scenario and lowers it onto a
+// pipeline.Config ready for pipeline.NewFromConfig. Reloads are not
+// part of the config — Run schedules them onto the built session.
+func (sc *Scenario) Compile() (pipeline.Config, error) {
+	fail := func(err error) (pipeline.Config, error) {
+		return pipeline.Config{}, fmt.Errorf("scenario %s: %v", sc.errLabel(), err)
+	}
+	if err := sc.Validate(); err != nil {
+		return fail(err)
+	}
+	cfg := pipeline.Config{
+		Seed:    sc.Seed,
+		NetSeed: sc.NetSeed,
+		Images:  sc.Images,
+		SLO:     sc.SLO.Std(),
+	}
+	switch sc.Network {
+	case "googlenet":
+		cfg.Network = pipeline.NetGoogLeNet
+	case "micro":
+		cfg.Network = pipeline.NetMicro
+	}
+	if d := sc.Dataset; d != nil {
+		dc := imagenet.DefaultConfig()
+		if d.Images > 0 {
+			dc.Images = d.Images
+		}
+		if d.Classes > 0 {
+			dc.Classes = d.Classes
+		}
+		if d.Subsets > 0 {
+			dc.Subsets = d.Subsets
+		}
+		if d.Size > 0 {
+			dc.Size = d.Size
+		}
+		if d.Seed != 0 {
+			dc.Seed = d.Seed
+		}
+		cfg.Dataset = dc
+	}
+	for _, g := range sc.Fleet.Groups {
+		cfg.Groups = append(cfg.Groups, compileGroup(g))
+	}
+	for _, s := range sc.Fleet.Stages {
+		cfg.Stages = append(cfg.Stages, pipeline.Stage{
+			Group:    compileGroup(s.GroupSpec),
+			Queue:    s.Queue,
+			Replicas: s.Replicas,
+		})
+	}
+	cuts, err := resolveCuts(sc.Fleet.Cuts, sc.Network)
+	if err != nil {
+		return fail(err)
+	}
+	cfg.Cuts = cuts
+	cfg.Routing = compileRouting(sc.Fleet.Routing)
+	cfg.QueueDepth = sc.Fleet.QueueDepth
+	if t := sc.Traffic; t != nil {
+		if t.Arrivals != nil {
+			cfg.Arrivals = compileArrivals(t.Arrivals)
+			cfg.ArrivalLabel = t.ArrivalLabel
+		}
+		if ts := t.Tenants; ts != nil {
+			tc := tenant.Config{
+				Scheduler:      compileScheduler(ts.Scheduler),
+				SharedDepth:    ts.SharedDepth,
+				SharedOverload: compilePolicy(ts.SharedOverload),
+			}
+			for _, tn := range ts.Tenants {
+				tc.Tenants = append(tc.Tenants, tenant.Tenant{
+					ID:          tn.ID,
+					Weight:      tn.Weight,
+					Priority:    tn.Priority,
+					SLO:         tn.SLO.Std(),
+					Arrivals:    compileArrivals(tn.Arrivals),
+					QueueDepth:  tn.QueueDepth,
+					Overload:    compilePolicy(tn.Overload),
+					MaxInFlight: tn.MaxInFlight,
+					RatePerSec:  tn.RatePerSec,
+					Burst:       tn.Burst,
+				})
+			}
+			cfg.Tenants = tc
+		}
+	}
+	if ad := sc.Admission; ad != nil {
+		cfg.AdmissionDepth = ad.Depth
+		cfg.AdmissionPolicy = compilePolicy(ad.Policy)
+		cfg.AdmissionShrink = ad.Shrink
+		cfg.AdmissionMinDepth = ad.MinDepth
+	}
+	if h := sc.Hedge; h != nil {
+		cfg.Hedge = core.HedgeConfig{
+			Trigger:       h.Trigger.Std(),
+			Quantile:      h.Quantile,
+			MinSamples:    h.MinSamples,
+			Budget:        h.Budget,
+			DynamicBudget: h.Dynamic,
+		}
+	}
+	if b := sc.Batching; b != nil {
+		cfg.BatchMaxWait = b.MaxWait.Std()
+		cfg.AdaptiveBatch = b.Adaptive
+	}
+	if f := sc.Faults; f != nil {
+		for _, e := range f.Events {
+			cfg.Faults.Events = append(cfg.Faults.Events, fault.Event{
+				Device:   e.Device,
+				Kind:     compileFaultKind(e.Kind),
+				At:       e.At.Std(),
+				Duration: e.Duration.Std(),
+				Factor:   e.Factor,
+				Count:    e.Count,
+			})
+		}
+		for _, pr := range f.Processes {
+			kinds := make([]fault.Kind, len(pr.Kinds))
+			for i, k := range pr.Kinds {
+				kinds[i] = compileFaultKind(k)
+			}
+			cfg.Faults.Processes = append(cfg.Faults.Processes, fault.Process{
+				Devices: pr.Devices,
+				Kinds:   kinds,
+				Rate:    pr.Rate,
+				Start:   pr.Start.Std(),
+				End:     pr.End.Std(),
+				Factor:  pr.Factor,
+				Window:  pr.Window.Std(),
+			})
+		}
+	}
+	if r := sc.Recovery; r != nil {
+		rc := core.RecoveryConfig{
+			Timeout:     r.Timeout.Std(),
+			Recover:     true,
+			MaxAttempts: r.MaxAttempts,
+		}
+		if r.Recover != nil {
+			rc.Recover = *r.Recover
+		}
+		cfg.Recovery = rc
+	}
+	return cfg, nil
+}

@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the scenarios/golden/ files from this run")
+
+// TestCorpus runs every committed scenario under scenarios/ at its
+// declared (quick) scale and pins the full report rendering against
+// scenarios/golden/<name>.golden. Each scenario also runs twice from
+// a fresh parse — emission must be byte-identical — so the corpus
+// doubles as the determinism suite. Regenerate goldens with
+//
+//	go test ./internal/scenario/ -run TestCorpus -update
+func TestCorpus(t *testing.T) {
+	dir, err := DefaultCorpusDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) < 6 {
+		t.Fatalf("corpus holds %d scenarios, want at least 6", len(scs))
+	}
+	for _, sc := range scs {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := sc.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.String()
+
+			// Determinism: a fresh parse of the same file must emit
+			// byte-identical text.
+			again, err := LoadFile(sc.File)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res2, err := again.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got2 := res2.String(); got2 != got {
+				t.Fatalf("second run differs from first:\n--- first ---\n%s\n--- second ---\n%s", got, got2)
+			}
+
+			base := strings.TrimSuffix(filepath.Base(sc.File), ".json")
+			golden := filepath.Join(dir, "golden", base+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if got != string(want) {
+				t.Errorf("report drifted from %s (run with -update if intended):\n--- got ---\n%s\n--- want ---\n%s",
+					golden, got, want)
+			}
+		})
+	}
+}

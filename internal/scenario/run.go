@@ -1,0 +1,155 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+// Result is the outcome of one scenario run: the scenario and the
+// session report it produced.
+type Result struct {
+	// Scenario is the scenario that ran.
+	Scenario *Scenario
+	// Report is the session's unified report.
+	Report *pipeline.Report
+}
+
+// Run compiles the scenario, builds the session, schedules the
+// declared reloads and runs to completion. Deterministic: the same
+// scenario produces a bit-identical Result rendering on every run.
+func (sc *Scenario) Run() (*Result, error) {
+	name := sc.errLabel()
+	cfg, err := sc.Compile()
+	if err != nil {
+		return nil, err
+	}
+	sess, err := pipeline.NewFromConfig(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %v", name, err)
+	}
+	for _, rl := range sc.Reloads {
+		rl := rl
+		sess.ScheduleReload(rl.At.Std(), func(s *pipeline.Session) error {
+			if rl.SLO != nil {
+				if err := s.ReloadSLO(rl.SLO.Std()); err != nil {
+					return err
+				}
+			}
+			if rl.HedgeBudget != nil {
+				if err := s.ReloadHedgeBudget(*rl.HedgeBudget); err != nil {
+					return err
+				}
+			}
+			if rl.AdmissionDepth != nil {
+				if err := s.ReloadAdmissionDepth(*rl.AdmissionDepth); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	rep, err := sess.Run()
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %v", name, err)
+	}
+	if errs := sess.ReloadErrs(); len(errs) > 0 {
+		return nil, fmt.Errorf("scenario %s: %v", name, errs[0])
+	}
+	return &Result{Scenario: sc, Report: rep}, nil
+}
+
+// String renders the result as the golden-pinned text: a scenario
+// header followed by the session report. Deterministic.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== scenario %s ==\n", r.Scenario.Name)
+	if r.Scenario.Description != "" {
+		fmt.Fprintf(&b, "%s\n", r.Scenario.Description)
+	}
+	b.WriteString(r.Report.String())
+	return b.String()
+}
+
+// Point is the JSON-friendly summary of one scenario run, mirroring
+// the bench experiment point style (milliseconds, two decimals).
+type Point struct {
+	// Name and File identify the scenario.
+	Name string `json:"name"`
+	File string `json:"file,omitempty"`
+	// Images is the number of completed inferences.
+	Images int `json:"images"`
+	// ThroughputIPS is the aggregate steady-state rate.
+	ThroughputIPS float64 `json:"throughput_img_per_s"`
+	// GoodputPct and ShedPct are the SLO and admission outcomes.
+	GoodputPct float64 `json:"goodput_pct"`
+	ShedPct    float64 `json:"shed_pct"`
+	// P50MS, P95MS and P99MS summarize serving latency.
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	// FaultsInjected and Hedged count fault-plan and hedging events.
+	FaultsInjected int `json:"faults_injected,omitempty"`
+	Hedged         int `json:"hedged,omitempty"`
+	// Tenants is the number of declared traffic classes.
+	Tenants int `json:"tenants,omitempty"`
+	// SimTimeMS is the total virtual time of the run.
+	SimTimeMS float64 `json:"sim_time_ms"`
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+func ms(d time.Duration) float64 { return round2(d.Seconds() * 1e3) }
+
+// Point summarizes the result for machine consumption.
+func (r *Result) Point() Point {
+	rep := r.Report
+	file := ""
+	if r.Scenario.File != "" {
+		file = filepath.Base(r.Scenario.File)
+	}
+	return Point{
+		Name:           r.Scenario.Name,
+		File:           file,
+		Images:         rep.Images,
+		ThroughputIPS:  round2(rep.Throughput),
+		GoodputPct:     round2(rep.Goodput * 100),
+		ShedPct:        round2(rep.ShedRate * 100),
+		P50MS:          ms(rep.Latency.P50),
+		P95MS:          ms(rep.Latency.P95),
+		P99MS:          ms(rep.Latency.P99),
+		FaultsInjected: rep.FaultsInjected,
+		Hedged:         rep.Hedged,
+		Tenants:        len(rep.Tenants),
+		SimTimeMS:      ms(rep.SimTime),
+	}
+}
+
+// DefaultCorpusDir locates the committed scenario corpus: it walks up
+// from the working directory to the repository root (the directory
+// holding go.mod) and returns its scenarios/ directory.
+func DefaultCorpusDir() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", fmt.Errorf("scenario: %v", err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			corpus := filepath.Join(dir, "scenarios")
+			if info, err := os.Stat(corpus); err == nil && info.IsDir() {
+				return corpus, nil
+			}
+			return "", fmt.Errorf("scenario: no scenarios/ corpus under module root %s", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("scenario: no go.mod above working directory")
+		}
+		dir = parent
+	}
+}

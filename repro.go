@@ -64,6 +64,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/pipeline"
 	"repro/internal/rng"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/tenant"
 	"repro/internal/tensor"
@@ -832,6 +833,31 @@ type Timeline = trace.Timeline
 
 // NewTimeline returns an enabled execution timeline.
 func NewTimeline() *Timeline { return trace.New() }
+
+// Declarative scenarios.
+type (
+	// Scenario is a declarative serving scenario: fleet topology,
+	// traffic, faults, SLO and mid-run knob reloads as one JSON file
+	// (internal/scenario; the committed corpus lives in scenarios/).
+	Scenario = scenario.Scenario
+	// ScenarioResult is one scenario run: the scenario plus the
+	// session report it produced.
+	ScenarioResult = scenario.Result
+	// ScenarioPoint is the machine-readable summary of one scenario
+	// run (the -scenario -json output of cmd/ncsw-bench).
+	ScenarioPoint = scenario.Point
+)
+
+// LoadScenario parses and validates one scenario file.
+func LoadScenario(path string) (*Scenario, error) { return scenario.LoadFile(path) }
+
+// LoadScenarios loads a scenario file or every *.json scenario in a
+// directory, in name order.
+func LoadScenarios(path string) ([]*Scenario, error) { return scenario.LoadPath(path) }
+
+// DefaultScenarioCorpus locates the repository's committed scenarios/
+// corpus by walking up from the working directory to go.mod.
+func DefaultScenarioCorpus() (string, error) { return scenario.DefaultCorpusDir() }
 
 // Experiments.
 type (

@@ -3,7 +3,7 @@
 # .bench/ (one benchmark per figure; see bench_test.go), run the
 # simulation-kernel microbenchmarks into .bench/kernel.txt, then emit
 # the machine-readable perf snapshot BENCH_PR<n>.json from the
-# multi-tenant serving experiment. <n> is the newest PR recorded in CHANGES.md, so
+# scenario corpus replay. <n> is the newest PR recorded in CHANGES.md, so
 # each PR's run lands in its own snapshot without editing this script;
 # a CHANGES.md with no PR entry is an error (the alternative is a
 # malformed snapshot name like BENCH_PR.json silently shadowing the
@@ -29,7 +29,7 @@ fi
 OUT_FILE=${NCSW_BENCH_OUT:-.bench/figures.txt}
 KERNEL_OUT=${NCSW_BENCH_KERNEL_OUT:-.bench/kernel.txt}
 BENCH_TIME=${NCSW_BENCH_TIME:-200ms}
-JSON_FLAGS=${NCSW_BENCH_JSON_FLAGS:--tenants -json}
+JSON_FLAGS=${NCSW_BENCH_JSON_FLAGS:--scenario scenarios/ -json}
 
 mkdir -p "$(dirname "$OUT_FILE")"
 mkdir -p "$(dirname "$KERNEL_OUT")"
@@ -46,6 +46,6 @@ go test ./internal/sim \
 	-benchmem \
 	-benchtime "$BENCH_TIME" | tee "$KERNEL_OUT"
 
-echo "== kernel perf points -> $NCSW_BENCH_JSON =="
+echo "== perf snapshot ($JSON_FLAGS) -> $NCSW_BENCH_JSON =="
 # shellcheck disable=SC2086 # JSON_FLAGS is a flag list by contract
 go run ./cmd/ncsw-bench $JSON_FLAGS > "$NCSW_BENCH_JSON"
